@@ -1,0 +1,168 @@
+// Shared experiment plumbing for the bench binaries: engine builders for
+// every algorithm family in Table 1, with a uniform adversary selection.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "adversary/adversaries.h"
+#include "agreement/phase_king.h"
+#include "agreement/phase_queen.h"
+#include "agreement/turpin_coan.h"
+#include "baselines/dolev_welch.h"
+#include "baselines/pipelined_ba_clock.h"
+#include "coin/fm_coin.h"
+#include "coin/oracle_coin.h"
+#include "core/cascade.h"
+#include "core/clock4.h"
+#include "core/clock_sync.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+
+namespace ssbft::bench {
+
+// Which coin the paper's algorithms run on.
+enum class CoinKind {
+  kOracle,  // idealized beacon with p0 = p1 = 0.45 (layer isolation)
+  kFm,      // full message-level GVSS coin
+};
+
+// Adversary selection, uniform across families.
+enum class Attack {
+  kSilent,
+  kNoise,
+  kSplit,     // equivocates 0/1 on channel 0
+  kSkew,      // conflicting clock stories on channels 0..2
+  kCoinAttack // FM-coin attacker on the given channel base (FM runs only)
+};
+
+inline std::unique_ptr<Adversary> make_attack(
+    Attack a, ClockValue k, std::shared_ptr<OracleBeacon> /*beacon*/,
+    ChannelId coin_base) {
+  switch (a) {
+    case Attack::kSilent:
+      return make_silent_adversary();
+    case Attack::kNoise:
+      return make_random_noise_adversary(8, 48);
+    case Attack::kSplit: {
+      ByteWriter x, y;
+      x.u8(0);
+      y.u8(1);
+      return make_split_value_adversary(0, std::move(x).take(),
+                                        std::move(y).take());
+    }
+    case Attack::kSkew:
+      return make_clock_skew_adversary(k, 0);
+    case Attack::kCoinAttack:
+      return make_fm_coin_attacker(PrimeField::kDefaultPrime, coin_base);
+  }
+  return make_silent_adversary();
+}
+
+struct World {
+  std::uint32_t n = 4;
+  std::uint32_t f = 1;      // protocol's assumed bound
+  std::uint32_t actual = 1; // actually-faulty node count (for boundary runs)
+  ClockValue k = 64;
+  Attack attack = Attack::kSkew;
+  CoinKind coin = CoinKind::kOracle;
+};
+
+inline EngineConfig world_config(const World& w, std::uint64_t seed) {
+  EngineConfig cfg;
+  cfg.n = w.n;
+  cfg.f = w.f;
+  cfg.faulty = EngineConfig::last_ids_faulty(w.n, w.actual);
+  cfg.seed = seed;
+  return cfg;
+}
+
+// ss-Byz-Clock-Sync (the paper).
+inline EngineBuilder build_clock_sync(World w) {
+  return [w](std::uint64_t seed) {
+    EngineBundle b;
+    CoinSpec spec;
+    std::shared_ptr<OracleBeacon> beacon;
+    if (w.coin == CoinKind::kOracle) {
+      beacon = std::make_shared<OracleBeacon>(w.n, OracleCoinParams{0.45, 0.45},
+                                              Rng(seed).split("beacon"));
+      spec = oracle_coin_spec(beacon);
+    } else {
+      spec = fm_coin_spec();
+    }
+    const auto coin_base = static_cast<ChannelId>(
+        3 + SsByz4Clock::channels_needed(spec, CoinPipelineMode::kPerSubClock));
+    auto adv = w.actual == 0 ? nullptr
+                             : make_attack(w.attack, w.k, beacon, coin_base);
+    auto factory = [spec, k = w.k](const ProtocolEnv& env, Rng rng) {
+      return std::make_unique<SsByzClockSync>(env, k, spec, rng);
+    };
+    b.engine = std::make_unique<Engine>(world_config(w, seed), factory,
+                                        std::move(adv));
+    if (beacon) {
+      b.engine->add_listener(beacon.get());
+      b.keepalive = beacon;
+    }
+    return b;
+  };
+}
+
+// Dolev-Welch randomized baseline ([10] sync row).
+inline EngineBuilder build_dolev_welch(World w) {
+  return [w](std::uint64_t seed) {
+    EngineBundle b;
+    auto adv =
+        w.actual == 0 ? nullptr : make_attack(w.attack, w.k, nullptr, 0);
+    auto factory = [k = w.k](const ProtocolEnv& env, Rng rng) {
+      return std::make_unique<DolevWelchClock>(env, k, rng);
+    };
+    b.engine = std::make_unique<Engine>(world_config(w, seed), factory,
+                                        std::move(adv));
+    return b;
+  };
+}
+
+// Pipelined-BA deterministic baselines ([15] = queen, [7] = king).
+inline EngineBuilder build_pipelined(World w, bool king) {
+  return [w, king](std::uint64_t seed) {
+    EngineBundle b;
+    const BaSpec spec =
+        turpin_coan_spec(king ? phase_king_spec() : phase_queen_spec());
+    auto adv =
+        w.actual == 0 ? nullptr : make_attack(w.attack, w.k, nullptr, 0);
+    auto factory = [spec, k = w.k](const ProtocolEnv& env, Rng rng) {
+      return std::make_unique<PipelinedBaClock>(env, k, spec, rng);
+    };
+    b.engine = std::make_unique<Engine>(world_config(w, seed), factory,
+                                        std::move(adv));
+    return b;
+  };
+}
+
+// Section 5 cascade (2^levels-clock).
+inline EngineBuilder build_cascade(World w, std::uint32_t levels) {
+  return [w, levels](std::uint64_t seed) {
+    EngineBundle b;
+    auto beacon = std::make_shared<OracleBeacon>(
+        w.n, OracleCoinParams{0.45, 0.45}, Rng(seed).split("beacon"));
+    CoinSpec spec = oracle_coin_spec(beacon);
+    auto adv =
+        w.actual == 0 ? nullptr : make_attack(w.attack, w.k, beacon, 0);
+    auto factory = [spec, levels](const ProtocolEnv& env, Rng rng) {
+      return std::make_unique<CascadeClock>(env, levels, spec, rng);
+    };
+    b.engine = std::make_unique<Engine>(world_config(w, seed), factory,
+                                        std::move(adv));
+    b.engine->add_listener(beacon.get());
+    b.keepalive = beacon;
+    return b;
+  };
+}
+
+inline std::string stat_cell(const TrialStats& s) {
+  if (s.converged == 0) return "none converged";
+  return fmt_double(s.mean, 1) + " (p90 " + fmt_double(s.p90, 0) + ")";
+}
+
+}  // namespace ssbft::bench

@@ -1,0 +1,85 @@
+// Message-complexity experiment: correct-node traffic per beat vs n for
+// every algorithm family (Table 1's families plus the cascade), measured
+// after convergence so the steady state is compared.
+//
+// Expected shape: Dolev-Welch O(n^2) messages of O(1) words; pipelined BA
+// clocks O(f * n^2) (R concurrent instances, R ~ f); ss-Byz-Clock-Sync
+// with the FM coin O(n^2) messages but O(n) words each from the GVSS
+// rounds (O(n^3) words per beat); with the oracle coin, O(n^2) total.
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace ssbft;
+using namespace ssbft::bench;
+
+namespace {
+
+struct Traffic {
+  double msgs = 0, bytes = 0;
+};
+
+Traffic steady_state(const EngineBuilder& builder, std::uint64_t beats) {
+  auto bundle = builder(123);
+  bundle.engine->run_beats(beats);
+  // Discard warmup: measure the second half only.
+  const auto& hist = bundle.engine->metrics().history();
+  Traffic t;
+  std::uint64_t counted = 0;
+  for (std::size_t i = hist.size() / 2; i < hist.size(); ++i) {
+    t.msgs += static_cast<double>(hist[i].correct_messages);
+    t.bytes += static_cast<double>(hist[i].correct_bytes);
+    ++counted;
+  }
+  t.msgs /= static_cast<double>(counted);
+  t.bytes /= static_cast<double>(counted);
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Steady-state traffic per beat (all correct nodes, "
+               "k = 16, silent adversary) ===\n\n";
+  AsciiTable t({"algorithm", "n", "f", "msgs/beat", "KiB/beat",
+                "msgs/beat/node"});
+  struct NF {
+    std::uint32_t n, f;
+  };
+  for (const auto [n, f] : {NF{4, 1}, NF{7, 2}, NF{10, 3}, NF{13, 4}}) {
+    World w;
+    w.n = n;
+    w.f = f;
+    w.actual = f;
+    w.k = 16;
+    w.attack = Attack::kSilent;
+
+    auto add = [&](const std::string& name, const EngineBuilder& b,
+                   std::uint64_t beats) {
+      const Traffic tr = steady_state(b, beats);
+      t.add_row({name, std::to_string(n), std::to_string(f),
+                 fmt_double(tr.msgs, 0), fmt_double(tr.bytes / 1024.0, 1),
+                 fmt_double(tr.msgs / (n - f), 1)});
+    };
+
+    add("Dolev-Welch [10]", build_dolev_welch(w), 400);
+    {
+      World wq = w;
+      wq.f = (n - 1) / 4;
+      wq.actual = wq.f;
+      add("pipelined queen [15]", build_pipelined(wq, false), 200);
+    }
+    add("pipelined king [7]", build_pipelined(w, true), 200);
+    add("ss-Byz-Clock-Sync (oracle)", build_clock_sync(w), 300);
+    {
+      World wf = w;
+      wf.coin = CoinKind::kFm;
+      add("ss-Byz-Clock-Sync (FM coin)", build_clock_sync(wf),
+          n >= 10 ? 60 : 150);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nCSV follows:\n";
+  t.print_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Microbenchmarks (google-benchmark): the hot paths under every
+// experiment — field arithmetic, polynomial evaluation, Lagrange
+// interpolation, Berlekamp-Welch decoding (clean fast path vs adversarial
+// slow path), GVSS dealing, and whole-engine beat throughput for the full
+// ss-Byz-Clock-Sync stack.
+#include <benchmark/benchmark.h>
+
+#include "adversary/adversaries.h"
+#include "coin/fm_coin.h"
+#include "coin/gvss.h"
+#include "core/clock_sync.h"
+#include "field/reed_solomon.h"
+#include "sim/engine.h"
+
+namespace ssbft {
+namespace {
+
+void BM_FieldMul(benchmark::State& state) {
+  PrimeField F;
+  Rng rng(1);
+  std::uint64_t a = F.uniform(rng), b = F.uniform(rng);
+  for (auto _ : state) {
+    a = F.mul(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldMul);
+
+void BM_FieldInv(benchmark::State& state) {
+  PrimeField F;
+  Rng rng(2);
+  std::uint64_t a = F.uniform_nonzero(rng);
+  for (auto _ : state) {
+    a = F.inv(a);
+    benchmark::DoNotOptimize(a);
+    if (a == 0) a = 1;
+  }
+}
+BENCHMARK(BM_FieldInv);
+
+void BM_PolyEval(benchmark::State& state) {
+  PrimeField F;
+  Rng rng(3);
+  Poly p = Poly::random(F, static_cast<int>(state.range(0)), rng);
+  std::uint64_t x = 12345;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.eval(F, x));
+  }
+}
+BENCHMARK(BM_PolyEval)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_LagrangeInterpolate(benchmark::State& state) {
+  PrimeField F;
+  Rng rng(4);
+  const int deg = static_cast<int>(state.range(0));
+  Poly p = Poly::random(F, deg, rng);
+  std::vector<std::uint64_t> xs, ys;
+  for (int i = 0; i <= deg; ++i) {
+    xs.push_back(static_cast<std::uint64_t>(i + 1));
+    ys.push_back(p.eval(F, static_cast<std::uint64_t>(i + 1)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lagrange_interpolate(F, xs, ys));
+  }
+}
+BENCHMARK(BM_LagrangeInterpolate)->Arg(2)->Arg(4)->Arg(8);
+
+// Clean shares: gvss_recover's interpolation fast path.
+void BM_GvssRecoverClean(benchmark::State& state) {
+  PrimeField F;
+  Rng rng(5);
+  const auto f = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t n = 3 * f + 1;
+  auto dealing = GvssDealing::sample(F, f, rng);
+  std::vector<RsPoint> shares;
+  for (NodeId i = 0; i < n; ++i) {
+    shares.push_back({node_point(i), Poly(dealing.row_for(F, i)).eval(F, 0)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gvss_recover(F, f, shares));
+  }
+}
+BENCHMARK(BM_GvssRecoverClean)->Arg(1)->Arg(2)->Arg(4);
+
+// f lying shares: the Berlekamp-Welch slow path.
+void BM_GvssRecoverAdversarial(benchmark::State& state) {
+  PrimeField F;
+  Rng rng(6);
+  const auto f = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t n = 3 * f + 1;
+  auto dealing = GvssDealing::sample(F, f, rng);
+  std::vector<RsPoint> shares;
+  for (NodeId i = 0; i < n; ++i) {
+    std::uint64_t y = Poly(dealing.row_for(F, i)).eval(F, 0);
+    if (i < f) y = F.uniform(rng);
+    shares.push_back({node_point(i), y});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gvss_recover(F, f, shares));
+  }
+}
+BENCHMARK(BM_GvssRecoverAdversarial)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_GvssDealing(benchmark::State& state) {
+  PrimeField F;
+  Rng rng(7);
+  const auto f = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t n = 3 * f + 1;
+  for (auto _ : state) {
+    auto d = GvssDealing::sample(F, f, rng);
+    for (NodeId i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(d.row_for(F, i));
+    }
+  }
+}
+BENCHMARK(BM_GvssDealing)->Arg(1)->Arg(2)->Arg(4);
+
+// Whole-stack beat throughput: ss-Byz-Clock-Sync + FM coin + skew attack.
+void BM_FullStackBeat(benchmark::State& state) {
+  const auto f = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t n = 3 * f + 1;
+  EngineConfig cfg;
+  cfg.n = n;
+  cfg.f = f;
+  cfg.faulty = EngineConfig::last_ids_faulty(n, f);
+  cfg.seed = 9;
+  CoinSpec spec = fm_coin_spec();
+  auto factory = [spec](const ProtocolEnv& env, Rng rng) {
+    return std::make_unique<SsByzClockSync>(env, 64, spec, rng);
+  };
+  Engine eng(cfg, factory, make_clock_skew_adversary(64, 0));
+  for (auto _ : state) {
+    eng.run_beat();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FullStackBeat)->Arg(1)->Arg(2);
+
+// Oracle-coin stack: the protocol-logic cost with coin traffic removed.
+void BM_OracleStackBeat(benchmark::State& state) {
+  const auto f = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t n = 3 * f + 1;
+  EngineConfig cfg;
+  cfg.n = n;
+  cfg.f = f;
+  cfg.faulty = EngineConfig::last_ids_faulty(n, f);
+  cfg.seed = 10;
+  auto beacon = std::make_shared<OracleBeacon>(n, OracleCoinParams{0.45, 0.45},
+                                               Rng(11));
+  CoinSpec spec = oracle_coin_spec(beacon);
+  auto factory = [spec](const ProtocolEnv& env, Rng rng) {
+    return std::make_unique<SsByzClockSync>(env, 64, spec, rng);
+  };
+  Engine eng(cfg, factory, make_clock_skew_adversary(64, 0));
+  eng.add_listener(beacon.get());
+  for (auto _ : state) {
+    eng.run_beat();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OracleStackBeat)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+}  // namespace ssbft
+
+BENCHMARK_MAIN();

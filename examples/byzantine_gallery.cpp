@@ -1,0 +1,86 @@
+// Adversary gallery: the same 2-Clock system under every attack strategy
+// this library implements, showing convergence holding at f < n/3
+// regardless of the adversary's sophistication — including one that reads
+// the coin (rushing) before choosing its votes.
+//
+//   $ ./byzantine_gallery [trials]
+#include <iostream>
+#include <string>
+
+#include "adversary/adversaries.h"
+#include "coin/oracle_coin.h"
+#include "core/clock2.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+
+using namespace ssbft;
+
+namespace {
+
+EngineBundle build(std::uint32_t n, std::uint32_t f, int attack,
+                   std::uint64_t seed) {
+  EngineBundle b;
+  auto beacon = std::make_shared<OracleBeacon>(n, OracleCoinParams{0.45, 0.45},
+                                               Rng(seed).split("beacon"));
+  CoinSpec spec = oracle_coin_spec(beacon);
+  EngineConfig cfg;
+  cfg.n = n;
+  cfg.f = f;
+  cfg.faulty = EngineConfig::last_ids_faulty(n, f);
+  cfg.seed = seed;
+  std::unique_ptr<Adversary> adv;
+  switch (attack) {
+    case 0: adv = make_silent_adversary(); break;
+    case 1: adv = make_random_noise_adversary(10, 48); break;
+    case 2: {
+      ByteWriter x, y;
+      x.u8(0);
+      y.u8(1);
+      adv = make_split_value_adversary(0, std::move(x).take(),
+                                       std::move(y).take());
+      break;
+    }
+    default: adv = make_anti_coin_adversary(beacon, 0); break;
+  }
+  auto factory = [spec](const ProtocolEnv& env, Rng rng) {
+    return std::make_unique<SsByz2Clock>(env, spec, 0, rng);
+  };
+  b.engine = std::make_unique<Engine>(cfg, factory, std::move(adv));
+  b.engine->add_listener(beacon.get());
+  b.keepalive = beacon;
+  return b;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t trials =
+      argc > 1 ? std::stoull(argv[1]) : 40;
+  const char* names[] = {
+      "silent (crash)", "random noise", "split-world equivocation",
+      "anti-coin rusher (reads the coin first)"};
+
+  std::cout << "ss-Byz-2-Clock, n=7, f=2, " << trials
+            << " trials per adversary, randomized genesis\n\n";
+  AsciiTable t({"adversary", "converged", "mean beats", "median", "p90"});
+  for (int attack = 0; attack < 4; ++attack) {
+    RunnerConfig rc;
+    rc.trials = trials;
+    rc.base_seed = 11;
+    rc.convergence.max_beats = 5000;
+    auto stats = run_trials(
+        [attack](std::uint64_t seed) { return build(7, 2, attack, seed); },
+        rc);
+    t.add_row({names[attack],
+               std::to_string(stats.converged) + "/" + std::to_string(trials),
+               fmt_double(stats.mean, 1), fmt_double(stats.median, 1),
+               fmt_double(stats.p90, 1)});
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nnote the anti-coin rusher: it sees each beat's coin before\n"
+         "sending (the model allows rushing), yet cannot slow convergence\n"
+         "much — the gamble's value was fixed one beat earlier (Remark 3.1/"
+         "Lemma 4).\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// A downstream application of the k-Clock: Byzantine-tolerant round-robin
+// leader rotation (TDMA-style slot ownership).
+//
+// The paper's intro argues clock synchronization is the substrate most
+// distributed tasks need. Here each of the n nodes owns the send slot
+// `clock mod n`; once ss-Byz-Clock-Sync converges, all correct nodes agree
+// on the slot owner at every beat — even with a Byzantine member and even
+// after a transient fault wipes a node's memory. A wrong local clock shows
+// up as slot collisions, which we count.
+//
+//   $ ./leader_rotation [seed]
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "adversary/adversaries.h"
+#include "coin/fm_coin.h"
+#include "core/clock_sync.h"
+#include "harness/convergence.h"
+
+using namespace ssbft;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::stoull(argv[1]) : 5;
+  const std::uint32_t n = 4, f = 1;
+  const ClockValue k = 4 * n;  // slot schedule wraps every 4 rotations
+
+  EngineConfig cfg;
+  cfg.n = n;
+  cfg.f = f;
+  cfg.faulty = EngineConfig::last_ids_faulty(n, f);
+  cfg.seed = seed;
+  CoinSpec coin = fm_coin_spec();
+  auto factory = [coin, k](const ProtocolEnv& env, Rng rng) {
+    return std::make_unique<SsByzClockSync>(env, k, coin, rng);
+  };
+  Engine engine(cfg, factory, make_clock_skew_adversary(k, 0));
+
+  auto owners = [&] {
+    std::vector<NodeId> v;
+    for (ClockValue c : engine.correct_clocks()) {
+      v.push_back(static_cast<NodeId>(c % n));
+    }
+    return v;
+  };
+
+  std::cout << "leader rotation over ss-Byz-Clock-Sync: n=" << n
+            << ", f=" << f << ", slot = clock mod n\n\n"
+            << "pre-convergence (nodes disagree on the slot owner):\n";
+  for (int i = 0; i < 4; ++i) {
+    engine.run_beat();
+    std::cout << "  beat " << i << " slot votes:";
+    for (NodeId o : owners()) std::cout << " node" << o;
+    std::cout << "\n";
+  }
+
+  ConvergenceConfig cc;
+  cc.max_beats = 5000;
+  const auto res = measure_convergence(engine, cc);
+  if (!res.converged) {
+    std::cout << "did not converge; try another seed\n";
+    return 1;
+  }
+
+  std::cout << "\nconverged (beat " << res.synced_at
+            << ") — rotation is now unanimous:\n";
+  std::uint64_t collisions = 0, beats = 0;
+  for (int round = 0; round < 2; ++round) {
+    for (std::uint32_t s = 0; s < n; ++s) {
+      engine.run_beat();
+      ++beats;
+      const auto v = owners();
+      bool unanimous = true;
+      for (NodeId o : v) unanimous &= (o == v[0]);
+      if (!unanimous) ++collisions;
+      std::cout << "  slot owner: node" << v[0]
+                << (unanimous ? "" : "  <- COLLISION") << "\n";
+    }
+  }
+  std::cout << "\ncollisions: " << collisions << "/" << beats
+            << " slots — a Byzantine member cannot steal or stall the "
+               "schedule, and the schedule itself needs no coordinator.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Self-stabilization demo: a running, synchronized system is hit by
+// transient faults — two correct nodes' memories are overwritten with
+// garbage mid-run, while the network goes through a phantom-message storm —
+// and the protocol re-synchronizes on its own. This is the property that
+// distinguishes the paper from classic (non-stabilizing) BFT clock sync.
+//
+//   $ ./transient_recovery [seed]
+#include <iostream>
+#include <string>
+
+#include "adversary/adversaries.h"
+#include "coin/fm_coin.h"
+#include "core/clock_sync.h"
+#include "harness/convergence.h"
+
+using namespace ssbft;
+
+namespace {
+
+void show(Engine& engine, int from, int count, ClockValue /*k*/) {
+  for (int i = 0; i < count; ++i) {
+    engine.run_beat();
+    std::cout << "  beat " << (from + i) << " |";
+    for (ClockValue c : engine.correct_clocks()) std::cout << " " << c;
+    std::cout << (clocks_agree(engine) ? "" : "   <- diverged") << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::stoull(argv[1]) : 7;
+  const ClockValue k = 12;
+
+  EngineConfig cfg;
+  cfg.n = 7;
+  cfg.f = 2;
+  cfg.faulty = EngineConfig::last_ids_faulty(7, 2);
+  cfg.seed = seed;
+  // The network itself misbehaves for the first 6 beats: phantom messages
+  // (stale buffer content) and losses.
+  cfg.faults.network_faulty_until = 6;
+  cfg.faults.phantoms_per_beat = 8;
+  cfg.faults.faulty_drop_prob = 0.3;
+
+  CoinSpec coin = fm_coin_spec();
+  auto factory = [coin, k](const ProtocolEnv& env, Rng rng) {
+    return std::make_unique<SsByzClockSync>(env, k, coin, rng);
+  };
+  Engine engine(cfg, factory, make_clock_skew_adversary(k, 0));
+
+  std::cout << "n=7, f=2 Byzantine (skew equivocation), k=" << k
+            << ", phantom-laden lossy network for 6 beats, randomized "
+               "genesis\n\nphase 1 — initial convergence:\n";
+  ConvergenceConfig cc;
+  cc.max_beats = 4000;
+  auto res = measure_convergence(engine, cc);
+  if (!res.converged) {
+    std::cout << "no convergence (unlucky seed)\n";
+    return 1;
+  }
+  std::cout << "  synced from beat " << res.synced_at << "\n";
+  show(engine, 0, 5, k);
+
+  std::cout << "\nphase 2 — transient fault: nodes 0 and 1 get their entire "
+               "memory randomized (clock, agreement state, coin pipelines):\n";
+  engine.corrupt_node(0);
+  engine.corrupt_node(1);
+  show(engine, 0, 4, k);
+
+  std::cout << "\nphase 3 — self-stabilization:\n";
+  res = measure_convergence(engine, cc);
+  if (!res.converged) {
+    std::cout << "no re-convergence (unlucky seed)\n";
+    return 1;
+  }
+  std::cout << "  re-synced (expected-constant recovery; Theorem 4 applies "
+               "from *any* state)\n";
+  show(engine, 0, 5, k);
+  std::cout << "\nrecovered without any external reset — that is "
+               "self-stabilization.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// One-shot synchronous Byzantine agreement instances.
+//
+// The deterministic baselines of Table 1 ([15]- and [7]-class) are built by
+// pipelining one-shot BA on the clock value (the "pipelining concept" of
+// Section 6.2). An instance runs a fixed number of rounds; round r's
+// messages travel on channel base + r - 1, so a pipeline of staggered
+// instances (one per round position) needs no session numbers — the same
+// recycling trick as ss-Byz-Coin-Flip.
+//
+// Contract (for n > resilience bound):
+//   agreement: all correct nodes output the same value, whatever the
+//              inputs and the Byzantine behavior;
+//   validity:  if all correct inputs equal v, the output is v.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/message.h"
+#include "sim/protocol.h"
+#include "support/rng.h"
+
+namespace ssbft {
+
+class BaInstance {
+ public:
+  virtual ~BaInstance() = default;
+  virtual int rounds() const = 0;
+  // Round r in [1, rounds()]; messages go on channel base + r - 1.
+  virtual void send_round(int round, Outbox& out, ChannelId base) = 0;
+  virtual void receive_round(int round, const Inbox& in, ChannelId base) = 0;
+  // Valid after receive_round(rounds()).
+  virtual std::uint64_t output() const = 0;
+  virtual void randomize_state(Rng& rng) = 0;
+};
+
+struct BaSpec {
+  std::function<std::unique_ptr<BaInstance>(const ProtocolEnv&,
+                                            std::uint64_t input, Rng)>
+      make;
+  // Round count as a function of f (e.g. 3(f+1) for phase king). A
+  // constant of the code: every node computes the same value from n, f.
+  std::function<int(std::uint32_t f)> rounds_for;
+  // Smallest n for which `f` faults are tolerated, as a multiplier:
+  // n > resilience_denominator * f (3 for phase king, 4 for phase queen).
+  int resilience_denominator = 3;
+};
+
+}  // namespace ssbft

@@ -1,0 +1,70 @@
+#include "agreement/phase_queen.h"
+
+#include "support/check.h"
+
+namespace ssbft {
+
+PhaseQueenInstance::PhaseQueenInstance(const ProtocolEnv& env, bool input)
+    : env_(env), v_(input) {}
+
+void PhaseQueenInstance::send_round(int round, Outbox& out, ChannelId base) {
+  const int phase = (round - 1) / 2;
+  const int sub = (round - 1) % 2;
+  const auto ch = static_cast<ChannelId>(base + round - 1);
+  ByteWriter w;
+  if (sub == 0) {
+    w.u8(v_ ? 1 : 0);
+    out.broadcast(ch, w.data());
+  } else if (env_.self == static_cast<NodeId>(phase) % env_.n) {
+    w.u8(v_ ? 1 : 0);
+    out.broadcast(ch, w.data());
+  }
+}
+
+void PhaseQueenInstance::receive_round(int round, const Inbox& in,
+                                       ChannelId base) {
+  const int phase = (round - 1) / 2;
+  const int sub = (round - 1) % 2;
+  const auto ch = static_cast<ChannelId>(base + round - 1);
+  const auto payloads = in.first_per_sender(ch);
+  std::uint32_t cnt[2] = {0, 0};
+  std::vector<std::uint8_t> vals(env_.n, 0xff);
+  for (NodeId j = 0; j < env_.n; ++j) {
+    if (payloads[j] == nullptr) continue;
+    ByteReader r(*payloads[j]);
+    const std::uint8_t v = r.u8();
+    if (!r.at_end() || v > 1) continue;
+    vals[j] = v;
+    ++cnt[v];
+  }
+  if (sub == 0) {
+    strong_ = false;
+    for (int w = 0; w < 2; ++w) {
+      if (cnt[w] >= env_.n - env_.f) {
+        v_ = w != 0;
+        strong_ = true;
+      }
+    }
+    if (!strong_) v_ = cnt[1] > cnt[0];
+  } else {
+    const NodeId queen = static_cast<NodeId>(phase) % env_.n;
+    if (!strong_) v_ = vals[queen] == 1;  // absent queen defaults to 0
+  }
+}
+
+void PhaseQueenInstance::randomize_state(Rng& rng) {
+  v_ = rng.next_bool();
+  strong_ = rng.next_bool();
+}
+
+BaSpec phase_queen_spec() {
+  BaSpec spec;
+  spec.resilience_denominator = 4;
+  spec.rounds_for = [](std::uint32_t f) { return 2 * (static_cast<int>(f) + 1); };
+  spec.make = [](const ProtocolEnv& env, std::uint64_t input, Rng) {
+    return std::make_unique<PhaseQueenInstance>(env, (input & 1) != 0);
+  };
+  return spec;
+}
+
+}  // namespace ssbft

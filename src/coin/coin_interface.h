@@ -1,0 +1,72 @@
+// Coin-flipping interfaces mirroring Definitions 2.6-2.8.
+//
+// Two layers:
+//
+//  * CoinInstance — one invocation of a probabilistic coin-flipping
+//    algorithm A (Definition 2.6): a fixed number of synchronous rounds,
+//    after the last of which it emits one bit. Instances are the unit the
+//    ss-Byz-Coin-Flip pipeline (Figure 1) stacks.
+//
+//  * CoinComponent — a self-stabilizing coin-flipping algorithm C
+//    (Definition 2.8) embeddable in a host protocol: every host beat it
+//    sends messages (send_phase) and yields one bit (receive_phase). After
+//    its convergence time it behaves as a pipelined probabilistic
+//    coin-flipping algorithm (Definition 2.7): one common-with-constant-
+//    probability bit per beat.
+//
+// Hosts allocate each embedded component a contiguous channel range
+// starting at `base`; the component must use only
+// [base, base + CoinSpec::channels).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/message.h"
+#include "sim/protocol.h"
+#include "support/rng.h"
+
+namespace ssbft {
+
+class CoinInstance {
+ public:
+  virtual ~CoinInstance() = default;
+
+  // Number of send rounds (the paper's Delta_A).
+  virtual int rounds() const = 0;
+
+  // Emit round `round`'s messages (1-based) on channel base + round - 1.
+  virtual void send_round(int round, Outbox& out, ChannelId base) = 0;
+
+  // Process round `round`'s inbox. After receive_round(rounds()) the output
+  // bit is available.
+  virtual void receive_round(int round, const Inbox& in, ChannelId base) = 0;
+
+  // The coin (valid only after the final receive_round).
+  virtual bool output() const = 0;
+
+  // Transient fault injection.
+  virtual void randomize_state(Rng& rng) = 0;
+};
+
+class CoinComponent {
+ public:
+  virtual ~CoinComponent() = default;
+  virtual void send_phase(Outbox& out) = 0;
+  // Returns this beat's random bit.
+  virtual bool receive_phase(const Inbox& in) = 0;
+  virtual void randomize_state(Rng& rng) = 0;
+};
+
+// A recipe for creating coin components inside host protocols. `channels`
+// is a constant of the code (Remark 2.1): the host's channel layout depends
+// on it and must be identical at every node.
+struct CoinSpec {
+  std::function<std::unique_ptr<CoinComponent>(const ProtocolEnv&,
+                                               ChannelId base, Rng rng)>
+      make;
+  std::uint32_t channels = 0;
+};
+
+}  // namespace ssbft

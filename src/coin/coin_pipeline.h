@@ -1,0 +1,53 @@
+// ss-Byz-Coin-Flip (Figure 1): the pipelining transform.
+//
+// Runs Delta_A staggered instances of a probabilistic coin-flipping
+// algorithm A, one per round-position. Each beat, slot j executes round
+// j+1 of its instance; the oldest slot finishes and yields the beat's bit;
+// slots shift and a fresh instance enters at slot 0. Messages are tagged by
+// round position (channel base + j), which doubles as the paper's
+// "session number": at any beat exactly one live instance is executing
+// round j+1, so the fixed channel space is unambiguous and recyclable —
+// no unbounded counters, as self-stabilization demands.
+//
+// Lemma 1: once every slot has been refreshed under a coherent network
+// (Delta_A beats), the wrapper is a pipelined probabilistic coin-flipping
+// algorithm; convergence time equals Delta_A.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "coin/coin_interface.h"
+
+namespace ssbft {
+
+using CoinInstanceFactory = std::function<std::unique_ptr<CoinInstance>(Rng)>;
+
+class SsByzCoinFlip final : public CoinComponent {
+ public:
+  // `rounds` must equal the instances' rounds() (the spec carries it so the
+  // channel budget is a static constant).
+  SsByzCoinFlip(CoinInstanceFactory factory, int rounds, ChannelId base,
+                Rng rng);
+
+  void send_phase(Outbox& out) override;
+  bool receive_phase(const Inbox& in) override;
+  void randomize_state(Rng& rng) override;
+
+  int rounds() const { return rounds_; }
+
+ private:
+  std::unique_ptr<CoinInstance> fresh_instance();
+
+  CoinInstanceFactory factory_;
+  int rounds_;
+  ChannelId base_;
+  Rng rng_;
+  // slots_[j] executes round j+1 at the current beat.
+  std::vector<std::unique_ptr<CoinInstance>> slots_;
+};
+
+// Builds a CoinSpec wrapping instances from `factory` into a pipeline.
+CoinSpec pipelined_coin_spec(CoinInstanceFactory factory, int rounds);
+
+}  // namespace ssbft

@@ -1,0 +1,236 @@
+#include "coin/fm_coin.h"
+
+#include "coin/coin_pipeline.h"
+#include "support/check.h"
+
+namespace ssbft {
+
+namespace {
+
+// Sentinel carried in cross/share vectors for "no value": the modulus
+// itself, which can never be a canonical element.
+std::uint64_t sentinel(const PrimeField& F) { return F.modulus(); }
+
+std::vector<std::uint64_t> pack_bits(const std::vector<bool>& bits) {
+  std::vector<std::uint64_t> words((bits.size() + 63) / 64, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) words[i / 64] |= std::uint64_t{1} << (i % 64);
+  }
+  return words;
+}
+
+std::vector<bool> unpack_bits(const std::vector<std::uint64_t>& words,
+                              std::size_t count) {
+  std::vector<bool> bits(count, false);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t w = i / 64;
+    if (w < words.size()) bits[i] = (words[w] >> (i % 64)) & 1;
+  }
+  return bits;
+}
+
+}  // namespace
+
+FmCoinInstance::FmCoinInstance(const ProtocolEnv& env,
+                               const FmCoinParams& params, Rng rng)
+    : env_(env),
+      field_(params.resolve_prime()),
+      rng_(rng),
+      dealing_(GvssDealing::sample(field_, env.f, rng_)),
+      rows_(env.n),
+      cross_matches_(env.n, 0),
+      happy_(env.n, false),
+      voted_happy_(env.n),
+      grades_(env.n, GvssGrade::kNone) {
+  SSBFT_REQUIRE_MSG(field_.modulus() > env.n,
+                    "coin field must have modulus > n (Remark 2.3)");
+}
+
+void FmCoinInstance::send_round(int round, Outbox& out, ChannelId base) {
+  const auto ch = static_cast<ChannelId>(base);
+  switch (round) {
+    case 1: send_deal(out, ch); break;
+    case 2: send_cross(out, ch); break;
+    case 3: send_votes(out, ch); break;
+    case 4: send_shares(out, ch); break;
+    default: SSBFT_CHECK_MSG(false, "bad round " << round);
+  }
+}
+
+void FmCoinInstance::receive_round(int round, const Inbox& in,
+                                   ChannelId base) {
+  const auto ch = static_cast<ChannelId>(base);
+  switch (round) {
+    case 1: recv_deal(in, ch); break;
+    case 2: recv_cross(in, ch); break;
+    case 3: recv_votes(in, ch); break;
+    case 4: recv_shares(in, ch); break;
+    default: SSBFT_CHECK_MSG(false, "bad round " << round);
+  }
+}
+
+// Round 1 — share phase: as dealer, send node j its row F(x_j, y).
+void FmCoinInstance::send_deal(Outbox& out, ChannelId ch) {
+  for (NodeId j = 0; j < env_.n; ++j) {
+    ByteWriter w;
+    w.u64_vec(dealing_.row_for(field_, j));
+    out.send(j, ch, std::move(w).take());
+  }
+}
+
+void FmCoinInstance::recv_deal(const Inbox& in, ChannelId ch) {
+  const auto payloads = in.first_per_sender(ch);
+  for (NodeId d = 0; d < env_.n; ++d) {
+    rows_[d].reset();
+    if (payloads[d] == nullptr) continue;
+    ByteReader r(*payloads[d]);
+    const auto coeffs = r.u64_vec(std::size_t{env_.f} + 1);
+    if (!r.at_end()) continue;
+    rows_[d] = validate_row(field_, env_.f, coeffs);
+  }
+}
+
+// Round 2 — cross-check: send node j, for every dealer d, my row's value
+// at j's point; j compares against its own row's value at my point
+// (symmetry: F_d(x_me, x_j) = F_d(x_j, x_me)).
+void FmCoinInstance::send_cross(Outbox& out, ChannelId ch) {
+  for (NodeId j = 0; j < env_.n; ++j) {
+    std::vector<std::uint64_t> vals(env_.n, sentinel(field_));
+    for (NodeId d = 0; d < env_.n; ++d) {
+      if (rows_[d]) vals[d] = rows_[d]->eval(field_, node_point(j));
+    }
+    ByteWriter w;
+    w.u64_vec(vals);
+    out.send(j, ch, std::move(w).take());
+  }
+}
+
+void FmCoinInstance::recv_cross(const Inbox& in, ChannelId ch) {
+  const auto payloads = in.first_per_sender(ch);
+  std::fill(cross_matches_.begin(), cross_matches_.end(), 0);
+  for (NodeId j = 0; j < env_.n; ++j) {
+    if (payloads[j] == nullptr) continue;
+    ByteReader r(*payloads[j]);
+    const auto vals = r.u64_vec(env_.n);
+    if (!r.at_end() || vals.size() != env_.n) continue;
+    for (NodeId d = 0; d < env_.n; ++d) {
+      if (!rows_[d] || !field_.valid(vals[d])) continue;
+      if (rows_[d]->eval(field_, node_point(j)) == vals[d]) {
+        ++cross_matches_[d];
+      }
+    }
+  }
+  for (NodeId d = 0; d < env_.n; ++d) {
+    happy_[d] =
+        gvss_happy(env_.n, env_.f, rows_[d].has_value(), cross_matches_[d]);
+  }
+}
+
+// Round 3 — decide phase: broadcast my happy votes.
+void FmCoinInstance::send_votes(Outbox& out, ChannelId ch) {
+  ByteWriter w;
+  w.u64_vec(pack_bits(happy_));
+  out.broadcast(ch, w.data());
+}
+
+void FmCoinInstance::recv_votes(const Inbox& in, ChannelId ch) {
+  const auto payloads = in.first_per_sender(ch);
+  const std::size_t words = (std::size_t{env_.n} + 63) / 64;
+  std::vector<std::uint32_t> votes(env_.n, 0);
+  for (NodeId j = 0; j < env_.n; ++j) {
+    voted_happy_[j].clear();
+    if (payloads[j] == nullptr) continue;
+    ByteReader r(*payloads[j]);
+    const auto mask = r.u64_vec(words);
+    if (!r.at_end() || mask.size() != words) continue;
+    voted_happy_[j] = unpack_bits(mask, env_.n);
+    for (NodeId d = 0; d < env_.n; ++d) {
+      if (voted_happy_[j][d]) ++votes[d];
+    }
+  }
+  for (NodeId d = 0; d < env_.n; ++d) {
+    grades_[d] = gvss_grade(env_.n, env_.f, votes[d]);
+  }
+}
+
+// Round 4 — recover phase: broadcast my share g_d(x_me) = F_d(x_me, 0) of
+// every dealing I hold a row for. This is the single round before which
+// the adversary cannot predict the coin (Observation 2.1).
+void FmCoinInstance::send_shares(Outbox& out, ChannelId ch) {
+  std::vector<std::uint64_t> shares(env_.n, sentinel(field_));
+  for (NodeId d = 0; d < env_.n; ++d) {
+    if (rows_[d]) shares[d] = rows_[d]->eval(field_, 0);
+  }
+  ByteWriter w;
+  w.u64_vec(shares);
+  out.broadcast(ch, w.data());
+}
+
+void FmCoinInstance::recv_shares(const Inbox& in, ChannelId ch) {
+  const auto payloads = in.first_per_sender(ch);
+  // Decode every sender's share vector once.
+  std::vector<std::vector<std::uint64_t>> share_vecs(env_.n);
+  for (NodeId j = 0; j < env_.n; ++j) {
+    if (payloads[j] == nullptr) continue;
+    ByteReader r(*payloads[j]);
+    auto vals = r.u64_vec(env_.n);
+    if (!r.at_end() || vals.size() != env_.n) continue;
+    share_vecs[j] = std::move(vals);
+  }
+  std::uint64_t sum = 0;
+  for (NodeId d = 0; d < env_.n; ++d) {
+    if (grades_[d] == GvssGrade::kNone) continue;
+    // Only shares from nodes that *voted happy* on d count: a correct happy
+    // voter's row is consistent with the unique dealt polynomial, so lies
+    // among these points come only from Byzantine senders (<= f), within
+    // the Berlekamp-Welch budget.
+    std::vector<RsPoint> pts;
+    pts.reserve(env_.n);
+    for (NodeId j = 0; j < env_.n; ++j) {
+      if (share_vecs[j].empty()) continue;
+      if (voted_happy_[j].empty() || !voted_happy_[j][d]) continue;
+      const std::uint64_t y = share_vecs[j][d];
+      if (!field_.valid(y)) continue;
+      pts.push_back(RsPoint{node_point(j), y});
+    }
+    // Unrecoverable dealings (necessarily from a faulty dealer) contribute
+    // the canonical value 0, identically at every node that fails.
+    const std::uint64_t s_d = gvss_recover(field_, env_.f, pts).value_or(0);
+    sum = field_.add(sum, s_d);
+  }
+  output_bit_ = (sum & 1) != 0;
+}
+
+void FmCoinInstance::randomize_state(Rng& rng) {
+  // Arbitrary memory corruption: every mutable field gets garbage that is
+  // type-valid but semantically arbitrary.
+  dealing_ = GvssDealing::sample(field_, env_.f, rng);
+  for (NodeId d = 0; d < env_.n; ++d) {
+    if (rng.next_bool()) {
+      rows_[d] = Poly::random(field_, static_cast<int>(env_.f), rng);
+    } else {
+      rows_[d].reset();
+    }
+    cross_matches_[d] = static_cast<std::uint32_t>(rng.next_below(env_.n + 1));
+    happy_[d] = rng.next_bool();
+    grades_[d] = static_cast<GvssGrade>(rng.next_below(3));
+    voted_happy_[d].assign(env_.n, false);
+    for (NodeId j = 0; j < env_.n; ++j) voted_happy_[d][j] = rng.next_bool();
+  }
+  output_bit_ = rng.next_bool();
+}
+
+CoinSpec fm_coin_spec(FmCoinParams params) {
+  CoinSpec spec;
+  spec.channels = FmCoinInstance::kRounds;
+  spec.make = [params](const ProtocolEnv& env, ChannelId base, Rng rng) {
+    CoinInstanceFactory factory = [env, params](Rng inst_rng) {
+      return std::make_unique<FmCoinInstance>(env, params, inst_rng);
+    };
+    return std::make_unique<SsByzCoinFlip>(std::move(factory),
+                                           FmCoinInstance::kRounds, base, rng);
+  };
+  return spec;
+}
+
+}  // namespace ssbft

@@ -1,0 +1,103 @@
+// A Feldman-Micali-style probabilistic coin-flipping instance
+// (Definition 2.6; Observation 2.1).
+//
+// Every node deals a uniform secret of Z_p through graded VSS; after the
+// one-round recover phase each node outputs the parity of the sum of the
+// recovered secrets of all dealers it graded >= 1 (kLow). Properties:
+//
+//   (termination)      exactly 4 send rounds (Delta_A = 4): deal, cross-
+//                      check, happy votes, recover shares;
+//   (binary output)    parity of a field-element sum;
+//   (events E0/E1)     correct dealers are graded 2 by everyone and their
+//                      secrets recovered identically by everyone; when the
+//                      adversary's dealings do not split grades across
+//                      correct nodes, all nodes sum the same set and the
+//                      parity is a fair common coin (p0 ~ p1 ~ 1/2 up to
+//                      the 2^-61 bias of parity over Z_(2^61-1));
+//   (unpredictability) dealings are degree-f symmetric bivariate
+//                      polynomials — f rows give zero information, so the
+//                      sum is unknowable to the adversary until the
+//                      recover round, by which time all its dealings are
+//                      committed (graded).
+//
+// Full Feldman-Micali guarantees constant common-coin probability against
+// *every* adversary via additional oblivious-coin machinery; this simpler
+// graded-inclusion rule can diverge when an adversarial dealing lands on
+// the grade-1/grade-0 boundary at different correct nodes. That gap is a
+// documented substitution (DESIGN.md): bench_coin_quality measures the
+// realized p0/p1 per adversary, including a dedicated grade-splitting
+// attacker, and the clock layer above consumes only the measured
+// constants.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coin/coin_interface.h"
+#include "coin/gvss.h"
+#include "field/fp.h"
+
+namespace ssbft {
+
+struct FmCoinParams {
+  // Field modulus. 0 selects the default 61-bit Mersenne prime. Any prime
+  // > n works (Remark 2.3: derived canonically from the code's constants);
+  // smaller primes skew the parity coin but remain constant-probability.
+  std::uint64_t prime = 0;
+
+  std::uint64_t resolve_prime() const {
+    return prime == 0 ? PrimeField::kDefaultPrime : prime;
+  }
+};
+
+class FmCoinInstance final : public CoinInstance {
+ public:
+  FmCoinInstance(const ProtocolEnv& env, const FmCoinParams& params, Rng rng);
+
+  int rounds() const override { return kRounds; }
+  void send_round(int round, Outbox& out, ChannelId base) override;
+  void receive_round(int round, const Inbox& in, ChannelId base) override;
+  bool output() const override { return output_bit_; }
+  void randomize_state(Rng& rng) override;
+
+  static constexpr int kRounds = 4;
+
+  // Introspection for tests.
+  GvssGrade grade_of(NodeId dealer) const { return grades_[dealer]; }
+  std::uint64_t my_secret() const { return dealing_.secret(); }
+
+ private:
+  void send_deal(Outbox& out, ChannelId ch);
+  void send_cross(Outbox& out, ChannelId ch);
+  void send_votes(Outbox& out, ChannelId ch);
+  void send_shares(Outbox& out, ChannelId ch);
+  void recv_deal(const Inbox& in, ChannelId ch);
+  void recv_cross(const Inbox& in, ChannelId ch);
+  void recv_votes(const Inbox& in, ChannelId ch);
+  void recv_shares(const Inbox& in, ChannelId ch);
+
+  ProtocolEnv env_;
+  PrimeField field_;
+  Rng rng_;
+  GvssDealing dealing_;  // my own secret's dealing
+
+  // Per dealer d: my row of d's dealing (nullopt if missing/malformed).
+  std::vector<std::optional<Poly>> rows_;
+  // Per dealer d: number of nodes whose cross value matched my row.
+  std::vector<std::uint32_t> cross_matches_;
+  // Per dealer d: my happy vote.
+  std::vector<bool> happy_;
+  // voted_happy_[j] = round-3 bitmask received from node j (empty if none).
+  std::vector<std::vector<bool>> voted_happy_;
+  // Per dealer d: grade derived from the votes.
+  std::vector<GvssGrade> grades_;
+
+  bool output_bit_ = false;
+};
+
+// CoinSpec for the self-stabilizing pipeline over FM instances
+// (ss-Byz-Coin-Flip with A = this coin; Theorem 1). Uses 4 channels.
+CoinSpec fm_coin_spec(FmCoinParams params = {});
+
+}  // namespace ssbft

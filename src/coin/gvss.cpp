@@ -1,0 +1,68 @@
+#include "coin/gvss.h"
+
+#include "support/check.h"
+
+namespace ssbft {
+
+std::optional<Poly> validate_row(const PrimeField& F, std::uint32_t f,
+                                 const std::vector<std::uint64_t>& coeffs) {
+  if (coeffs.size() != std::size_t{f} + 1) return std::nullopt;
+  for (std::uint64_t c : coeffs) {
+    if (!F.valid(c)) return std::nullopt;
+  }
+  return Poly(coeffs);
+}
+
+bool gvss_happy(std::uint32_t n, std::uint32_t f, bool row_valid,
+                std::uint32_t cross_matches) {
+  return row_valid && cross_matches >= n - f;
+}
+
+GvssGrade gvss_grade(std::uint32_t n, std::uint32_t f, std::uint32_t votes) {
+  if (votes >= n - f) return GvssGrade::kHigh;
+  if (votes >= n - 2 * f) return GvssGrade::kLow;
+  return GvssGrade::kNone;
+}
+
+std::optional<std::uint64_t> gvss_recover(const PrimeField& F, std::uint32_t f,
+                                          const std::vector<RsPoint>& shares) {
+  const int deg = static_cast<int>(f);
+  if (shares.size() < std::size_t{f} + 1) return std::nullopt;
+  // Fast path: the first f+1 shares define a candidate; if *every* share
+  // agrees it is the unique degree-f codeword (zero errors).
+  {
+    std::vector<std::uint64_t> xs, ys;
+    xs.reserve(f + 1);
+    ys.reserve(f + 1);
+    for (std::size_t i = 0; i <= f; ++i) {
+      xs.push_back(shares[i].x);
+      ys.push_back(shares[i].y);
+    }
+    const Poly cand = lagrange_interpolate(F, xs, ys);
+    if (cand.degree() <= deg && count_disagreements(F, cand, shares) == 0) {
+      return cand.eval(F, 0);
+    }
+  }
+  auto decoded = berlekamp_welch(F, shares, deg, static_cast<int>(f));
+  if (!decoded) return std::nullopt;
+  return decoded->eval(F, 0);
+}
+
+GvssDealing GvssDealing::sample(const PrimeField& F, std::uint32_t f,
+                                Rng& rng) {
+  const std::uint64_t secret = F.uniform(rng);
+  return GvssDealing(
+      SymmetricBivariate::sample(F, static_cast<int>(f), secret, rng));
+}
+
+std::vector<std::uint64_t> GvssDealing::row_for(const PrimeField& F,
+                                                NodeId to) const {
+  Poly row = poly_.row(F, node_point(to));
+  std::vector<std::uint64_t> coeffs = row.coeffs();
+  // Pad to exactly f+1 coefficients (normalization may have dropped
+  // trailing zeros; receivers expect a fixed width).
+  coeffs.resize(static_cast<std::size_t>(poly_.degree()) + 1, 0);
+  return coeffs;
+}
+
+}  // namespace ssbft

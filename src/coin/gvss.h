@@ -1,0 +1,85 @@
+// Graded verifiable secret sharing building blocks (Observation 2.1).
+//
+// The Feldman-Micali common coin rests on a GVSS with three logical phases:
+// share, decide (grade), recover. This header provides the per-dealing
+// machinery, decoupled from message transport so it is directly unit- and
+// property-testable:
+//
+//   * dealing: symmetric bivariate sampling + row extraction;
+//   * row validation of untrusted dealer payloads;
+//   * cross-check counting and the happy predicate;
+//   * grades from vote counts (>= n-f -> 2, >= n-2f -> 1, else 0);
+//   * error-correcting recovery of the dealt secret (fast path: clean
+//     interpolation; slow path: Berlekamp-Welch).
+//
+// Key facts used by the coin (proved in the VSS literature, exercised by
+// tests/gvss_test.cpp):
+//   - a correct dealer's dealing gets grade 2 at every correct node, and
+//     its secret is recovered by everyone (n >= 3f+1 gives the RS decoder
+//     budget, see reed_solomon.h);
+//   - if any correct node grades a dealing 2, every correct node grades it
+//     >= 1 (n-f votes minus f Byzantine still clears n-2f);
+//   - f rows reveal nothing about the secret before the recover phase
+//     (degree-f secrecy) — the unpredictability property.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "field/bivariate.h"
+#include "field/fp.h"
+#include "field/poly.h"
+#include "field/reed_solomon.h"
+#include "support/rng.h"
+#include "support/types.h"
+
+namespace ssbft {
+
+// Field point assigned to node id (must be nonzero and distinct).
+inline std::uint64_t node_point(NodeId id) { return std::uint64_t{id} + 1; }
+
+// Grades per Definition/use in Observation 2.1.
+enum class GvssGrade : std::uint8_t { kNone = 0, kLow = 1, kHigh = 2 };
+
+// Validates an untrusted row polynomial payload: every coefficient
+// canonical and degree <= f. Returns nullopt on any violation.
+std::optional<Poly> validate_row(const PrimeField& F, std::uint32_t f,
+                                 const std::vector<std::uint64_t>& coeffs);
+
+// Happy predicate: the node holds a valid row and at least n-f nodes'
+// cross values matched it (matches includes the node itself).
+bool gvss_happy(std::uint32_t n, std::uint32_t f, bool row_valid,
+                std::uint32_t cross_matches);
+
+// Grade from the number of distinct nodes that voted happy.
+GvssGrade gvss_grade(std::uint32_t n, std::uint32_t f, std::uint32_t votes);
+
+// Recovers the dealt secret g(0) from shares g(node_point(j)) where
+// g(x) = F(x, 0) has degree <= f and at most `f` of the points lie. Fast
+// path: if the first f+1 points interpolate a polynomial consistent with
+// every point, that is the unique codeword. Otherwise full Berlekamp-Welch.
+// Returns nullopt when decoding is impossible (an inevitably faulty
+// dealing); callers map that to the canonical secret 0 so all correct nodes
+// that fail, fail identically.
+std::optional<std::uint64_t> gvss_recover(const PrimeField& F, std::uint32_t f,
+                                          const std::vector<RsPoint>& shares);
+
+// One dealer's side of the share phase.
+class GvssDealing {
+ public:
+  // Samples a dealing of a uniform secret (degree f in each variable).
+  static GvssDealing sample(const PrimeField& F, std::uint32_t f, Rng& rng);
+
+  // Row polynomial for node `to` (degree <= f, f+1 coefficients).
+  std::vector<std::uint64_t> row_for(const PrimeField& F, NodeId to) const;
+
+  std::uint64_t secret() const { return poly_.secret(); }
+  const SymmetricBivariate& bivariate() const { return poly_; }
+
+ private:
+  explicit GvssDealing(SymmetricBivariate p) : poly_(std::move(p)) {}
+  SymmetricBivariate poly_;
+};
+
+}  // namespace ssbft

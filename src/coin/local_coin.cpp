@@ -1,0 +1,31 @@
+#include "coin/local_coin.h"
+
+namespace ssbft {
+
+namespace {
+
+class LocalCoinComponent final : public CoinComponent {
+ public:
+  explicit LocalCoinComponent(Rng rng) : rng_(rng) {}
+
+  void send_phase(Outbox&) override {}
+  bool receive_phase(const Inbox&) override { return rng_.next_bool(); }
+  // Reseeding under corruption is immaterial: every draw is independent.
+  void randomize_state(Rng& rng) override { rng_ = Rng(rng.next_u64()); }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace
+
+CoinSpec local_coin_spec() {
+  CoinSpec spec;
+  spec.channels = 0;
+  spec.make = [](const ProtocolEnv&, ChannelId, Rng rng) {
+    return std::make_unique<LocalCoinComponent>(rng);
+  };
+  return spec;
+}
+
+}  // namespace ssbft

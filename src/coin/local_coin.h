@@ -1,0 +1,17 @@
+// The local coin: each node flips independently.
+//
+// A *negative control*: it satisfies termination and binary output but has
+// no common-coin events (p0 = p1 = 2^-(n-f) at best, vanishing with n). The
+// Dolev-Welch-style baseline effectively runs on this, which is exactly why
+// its convergence is expected-exponential; plugging it into ss-Byz-2-Clock
+// demonstrates empirically how the paper's constant-time result depends on
+// the coin's common events.
+#pragma once
+
+#include "coin/coin_interface.h"
+
+namespace ssbft {
+
+CoinSpec local_coin_spec();
+
+}  // namespace ssbft

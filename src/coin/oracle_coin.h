@@ -1,0 +1,65 @@
+// The oracle coin: an idealized pipelined probabilistic coin-flipping
+// algorithm (Definition 2.7) realized as an environment beacon.
+//
+// Purpose: layer isolation. The clock-synchronization results (Theorems
+// 2-4) are parameterized only by the coin's constants p0, p1; the oracle
+// lets experiments sweep those constants directly and compare against the
+// message-level FM coin. Semantics per beat:
+//
+//   with probability p0: every node draws 0        (event E0)
+//   with probability p1: every node draws 1        (event E1)
+//   otherwise:           each node draws an independent fair bit
+//
+// Unpredictability is modeled faithfully: the beat's outcome is drawn at
+// the start of the beat and exposed to the adversary *in the same beat
+// only* (rushing — matching what a real recover round would reveal), never
+// earlier.
+//
+// The beacon is a BeatListener owned by the harness; node-side components
+// are stateless, so the oracle converges instantly (Delta_C = 0) and a
+// transiently corrupted node rejoins the common stream at the next beat.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "coin/coin_interface.h"
+#include "sim/engine.h"
+#include "support/rng.h"
+
+namespace ssbft {
+
+struct OracleCoinParams {
+  double p0 = 0.45;
+  double p1 = 0.45;
+};
+
+class OracleBeacon final : public BeatListener {
+ public:
+  OracleBeacon(std::uint32_t n, OracleCoinParams params, Rng rng);
+
+  void on_beat(Beat beat) override;
+
+  // This beat's bit at node `id`.
+  bool bit_for(NodeId id) const { return bits_[id]; }
+  // True iff this beat's draw was a common one (E0 or E1). Rushing
+  // adversaries may consult this; honest protocol code must not.
+  bool is_common() const { return common_; }
+  bool common_value() const { return common_value_; }
+
+  const OracleCoinParams& params() const { return params_; }
+
+ private:
+  std::uint32_t n_;
+  OracleCoinParams params_;
+  Rng rng_;
+  std::vector<bool> bits_;
+  bool common_ = false;
+  bool common_value_ = false;
+};
+
+// Components reading from a shared beacon. `beacon` must outlive every
+// component and be registered as a listener on the engine.
+CoinSpec oracle_coin_spec(std::shared_ptr<OracleBeacon> beacon);
+
+}  // namespace ssbft

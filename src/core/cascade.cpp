@@ -1,0 +1,52 @@
+#include "core/cascade.h"
+
+#include "support/check.h"
+
+namespace ssbft {
+
+CascadeClock::CascadeClock(const ProtocolEnv& env, std::uint32_t levels,
+                           const CoinSpec& coin, Rng rng, ChannelId base)
+    : env_(env),
+      levels_(levels),
+      channels_end_(base + channels_needed(levels, coin)),
+      active_(levels, false) {
+  SSBFT_REQUIRE(levels >= 1 && levels < 63);
+  const std::uint32_t per_level = SsByz2Clock::channels_needed(coin);
+  for (std::uint32_t i = 0; i < levels; ++i) {
+    level_.push_back(std::make_unique<SsByz2Clock>(
+        env, coin, static_cast<ChannelId>(base + i * per_level),
+        rng.split("level", i)));
+  }
+}
+
+void CascadeClock::send_phase(Outbox& out) {
+  // Level i steps iff every lower level is at 1 at the start of the beat
+  // (the carry chain of a binary counter).
+  bool carry = true;
+  for (std::uint32_t i = 0; i < levels_; ++i) {
+    active_[i] = carry;
+    carry = carry && level_[i]->tri_state() == Tri::kOne;
+    if (active_[i]) level_[i]->sub_send(out);
+  }
+}
+
+void CascadeClock::receive_phase(const Inbox& in) {
+  for (std::uint32_t i = 0; i < levels_; ++i) {
+    if (active_[i]) level_[i]->sub_receive(in);
+  }
+}
+
+void CascadeClock::randomize_state(Rng& rng) {
+  for (auto& l : level_) l->randomize_state(rng);
+  for (std::uint32_t i = 0; i < levels_; ++i) active_[i] = rng.next_bool();
+}
+
+ClockValue CascadeClock::clock() const {
+  ClockValue v = 0;
+  for (std::uint32_t i = 0; i < levels_; ++i) {
+    v |= level_[i]->clock() << i;
+  }
+  return v;
+}
+
+}  // namespace ssbft

@@ -1,0 +1,76 @@
+// ss-Byz-2-Clock (Figure 2): the expected-constant-time self-stabilizing
+// Byzantine 2-Clock, resilient to f < n/3.
+//
+// Each beat every node broadcasts clock in {0, 1, ?}; a self-stabilizing
+// coin-flipping component C runs alongside and yields this beat's common
+// random bit `rand`; received "?" values are counted as `rand` (crucially,
+// `rand` is revealed only after all beat-r messages — including the
+// Byzantine ones — are committed, Remark 3.1); if some value reaches n-f
+// support the node sets clock := 1 - maj, else clock := ?.
+//
+// Theorem 2: from any state, under a coherent network, all correct nodes
+// agree within an expected-constant number of beats (two consecutive safe
+// beats suffice, each beat is safe w.p. p0+p1) and then alternate 0,1,0,...
+// forever (Lemma 2 — closure is deterministic).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "coin/coin_interface.h"
+#include "sim/protocol.h"
+
+namespace ssbft {
+
+// The paper's three-valued clock domain {0, 1, ?}.
+enum class Tri : std::uint8_t { kZero = 0, kOne = 1, kBottom = 2 };
+
+class SsByz2Clock final : public ClockProtocol {
+ public:
+  // Owns an embedded coin built from `coin` rooted at channel base+1
+  // (channel base+0 carries the clock broadcast).
+  SsByz2Clock(const ProtocolEnv& env, const CoinSpec& coin, ChannelId base,
+              Rng rng);
+
+  // For hosts that drive the coin themselves (the Remark 4.1 shared-
+  // pipeline ablation): no embedded coin; the host supplies `rand` to
+  // sub_receive_with_rand every beat.
+  SsByz2Clock(const ProtocolEnv& env, ChannelId base, Rng rng);
+
+  // --- embeddable sub-protocol interface (used by ss-Byz-4-Clock) ---
+  void sub_send(Outbox& out);
+  // With an embedded coin.
+  void sub_receive(const Inbox& in);
+  // With a host-supplied coin bit.
+  void sub_receive_with_rand(const Inbox& in, bool rand);
+
+  Tri tri_state() const { return clock_; }
+
+  // --- ClockProtocol (top-level use) ---
+  void send_phase(Outbox& out) override { sub_send(out); }
+  void receive_phase(const Inbox& in) override { sub_receive(in); }
+  void randomize_state(Rng& rng) override;
+  // The 2-clock value; "?" maps to 0 (the convergence detector requires
+  // closure over a window, which an all-? state cannot fake).
+  ClockValue clock() const override;
+  ClockValue modulus() const override { return 2; }
+  std::uint32_t channel_count() const override { return channels_end_; }
+
+  // Channels consumed when rooted at some base: 1 + the coin's.
+  static std::uint32_t channels_needed(const CoinSpec& coin) {
+    return 1 + coin.channels;
+  }
+  static std::uint32_t channels_needed_external_coin() { return 1; }
+
+ private:
+  void apply_majority_rule(const Inbox& in, bool rand);
+
+  ProtocolEnv env_;
+  ChannelId clock_channel_;
+  std::uint32_t channels_end_;
+  std::unique_ptr<CoinComponent> coin_;  // null in external-coin mode
+  Tri clock_ = Tri::kZero;
+};
+
+}  // namespace ssbft

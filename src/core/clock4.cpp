@@ -1,0 +1,60 @@
+#include "core/clock4.h"
+
+#include "support/check.h"
+
+namespace ssbft {
+
+SsByz4Clock::SsByz4Clock(const ProtocolEnv& env, const CoinSpec& coin,
+                         ChannelId base, Rng rng, CoinPipelineMode mode)
+    : env_(env),
+      mode_(mode),
+      channels_end_(base + channels_needed(coin, mode)) {
+  if (mode_ == CoinPipelineMode::kPerSubClock) {
+    const auto a1_base = base;
+    const auto a2_base =
+        static_cast<ChannelId>(base + SsByz2Clock::channels_needed(coin));
+    a1_ = std::make_unique<SsByz2Clock>(env, coin, a1_base, rng.split("a1"));
+    a2_ = std::make_unique<SsByz2Clock>(env, coin, a2_base, rng.split("a2"));
+  } else {
+    a1_ = std::make_unique<SsByz2Clock>(env, base, rng.split("a1"));
+    a2_ = std::make_unique<SsByz2Clock>(env, static_cast<ChannelId>(base + 1),
+                                        rng.split("a2"));
+    shared_coin_ = coin.make(env, static_cast<ChannelId>(base + 2),
+                             rng.split("shared-coin"));
+    SSBFT_CHECK(shared_coin_ != nullptr);
+  }
+}
+
+void SsByz4Clock::sub_send(Outbox& out) {
+  // Figure 3 line 2's gate, in start-of-beat form: A2 steps on the beats
+  // where A1 is about to wrap 1 -> 0.
+  a2_active_ = a1_->tri_state() == Tri::kOne;
+  a1_->sub_send(out);
+  if (a2_active_) a2_->sub_send(out);
+  if (shared_coin_) shared_coin_->send_phase(out);
+}
+
+void SsByz4Clock::sub_receive(const Inbox& in) {
+  if (mode_ == CoinPipelineMode::kPerSubClock) {
+    a1_->sub_receive(in);
+    if (a2_active_) a2_->sub_receive(in);
+  } else {
+    // One pipeline, one bit per beat, consumed by whichever sub-clocks step.
+    const bool rand = shared_coin_->receive_phase(in);
+    a1_->sub_receive_with_rand(in, rand);
+    if (a2_active_) a2_->sub_receive_with_rand(in, rand);
+  }
+}
+
+void SsByz4Clock::randomize_state(Rng& rng) {
+  a1_->randomize_state(rng);
+  a2_->randomize_state(rng);
+  if (shared_coin_) shared_coin_->randomize_state(rng);
+  a2_active_ = rng.next_bool();
+}
+
+ClockValue SsByz4Clock::clock() const {
+  return 2 * a2_->clock() + a1_->clock();
+}
+
+}  // namespace ssbft

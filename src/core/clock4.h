@@ -1,0 +1,69 @@
+// ss-Byz-4-Clock (Figure 3): a 4-Clock from two ss-Byz-2-Clock instances.
+//
+// A1 steps every beat. A2 steps exactly when A1 wraps: Figure 3 gates A2 on
+// "clock(A1) = 0" evaluated after A1's beat, which equals (post-
+// convergence) clock(A1) = 1 at the *start* of the beat — the form we use,
+// since send decisions cannot depend on this beat's receives. The combined
+// clock 2*clock(A2) + clock(A1) then steps through 0,1,2,3 (Theorem 3's
+// pattern) and increments by one per beat.
+//
+// Remark 4.1: the two sub-clocks can share a single coin-flipping pipeline,
+// halving coin traffic. Both modes are provided; the ablation benchmark
+// compares them.
+#pragma once
+
+#include <memory>
+
+#include "coin/coin_interface.h"
+#include "core/clock2.h"
+#include "sim/protocol.h"
+
+namespace ssbft {
+
+enum class CoinPipelineMode {
+  kPerSubClock,  // the paper's Figure 3: one coin pipeline per 2-clock
+  kShared,       // Remark 4.1: a single pipeline feeds both
+};
+
+class SsByz4Clock final : public ClockProtocol {
+ public:
+  SsByz4Clock(const ProtocolEnv& env, const CoinSpec& coin, ChannelId base,
+              Rng rng, CoinPipelineMode mode = CoinPipelineMode::kPerSubClock);
+
+  // --- embeddable sub-protocol interface (used by ss-Byz-Clock-Sync) ---
+  void sub_send(Outbox& out);
+  void sub_receive(const Inbox& in);
+
+  // --- ClockProtocol ---
+  void send_phase(Outbox& out) override { sub_send(out); }
+  void receive_phase(const Inbox& in) override { sub_receive(in); }
+  void randomize_state(Rng& rng) override;
+  ClockValue clock() const override;
+  ClockValue modulus() const override { return 4; }
+  std::uint32_t channel_count() const override { return channels_end_; }
+
+  static std::uint32_t channels_needed(const CoinSpec& coin,
+                                       CoinPipelineMode mode) {
+    if (mode == CoinPipelineMode::kPerSubClock) {
+      return 2 * (1 + coin.channels);
+    }
+    return 2 + coin.channels;
+  }
+
+  // Introspection for tests.
+  const SsByz2Clock& a1() const { return *a1_; }
+  const SsByz2Clock& a2() const { return *a2_; }
+
+ private:
+  ProtocolEnv env_;
+  CoinPipelineMode mode_;
+  std::uint32_t channels_end_;
+  std::unique_ptr<SsByz2Clock> a1_;
+  std::unique_ptr<SsByz2Clock> a2_;
+  std::unique_ptr<CoinComponent> shared_coin_;  // kShared mode only
+  // Latched during send_phase so send and receive agree on whether A2
+  // steps this beat.
+  bool a2_active_ = false;
+};
+
+}  // namespace ssbft

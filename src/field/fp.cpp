@@ -1,0 +1,58 @@
+#include "field/fp.h"
+
+#include "field/primes.h"
+#include "support/check.h"
+
+namespace ssbft {
+
+PrimeField::PrimeField(std::uint64_t p) : p_(p) {
+  SSBFT_REQUIRE_MSG(p >= 2 && is_prime_u64(p), "field modulus must be prime, got " << p);
+}
+
+std::uint64_t PrimeField::add(std::uint64_t a, std::uint64_t b) const {
+  SSBFT_CHECK(a < p_ && b < p_);
+  std::uint64_t s = a + b;  // p < 2^63 for the default; handle general case:
+  if (s < a || s >= p_) s -= p_;
+  return s;
+}
+
+std::uint64_t PrimeField::sub(std::uint64_t a, std::uint64_t b) const {
+  SSBFT_CHECK(a < p_ && b < p_);
+  return a >= b ? a - b : a + (p_ - b);
+}
+
+std::uint64_t PrimeField::neg(std::uint64_t a) const {
+  SSBFT_CHECK(a < p_);
+  return a == 0 ? 0 : p_ - a;
+}
+
+std::uint64_t PrimeField::mul(std::uint64_t a, std::uint64_t b) const {
+  SSBFT_CHECK(a < p_ && b < p_);
+  return static_cast<std::uint64_t>(
+      static_cast<unsigned __int128>(a) * b % p_);
+}
+
+std::uint64_t PrimeField::pow(std::uint64_t a, std::uint64_t e) const {
+  SSBFT_CHECK(a < p_);
+  std::uint64_t base = a, acc = 1 % p_;
+  while (e != 0) {
+    if (e & 1) acc = mul(acc, base);
+    base = mul(base, base);
+    e >>= 1;
+  }
+  return acc;
+}
+
+std::uint64_t PrimeField::inv(std::uint64_t a) const {
+  SSBFT_REQUIRE_MSG(a != 0 && a < p_, "inverse of zero / non-canonical value");
+  // Fermat: a^(p-2). p is prime so this is total on nonzero a.
+  return pow(a, p_ - 2);
+}
+
+std::uint64_t PrimeField::uniform(Rng& rng) const { return rng.next_below(p_); }
+
+std::uint64_t PrimeField::uniform_nonzero(Rng& rng) const {
+  return 1 + rng.next_below(p_ - 1);
+}
+
+}  // namespace ssbft

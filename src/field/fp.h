@@ -1,0 +1,52 @@
+// Arithmetic in the prime field Z_p with a runtime modulus.
+//
+// The Feldman-Micali-style coin (Remark 2.3) needs a prime p > n; we default
+// to the Mersenne prime 2^61 - 1 so secrets have ~61 bits of entropy and the
+// parity of a uniform element is a (1/2 ± 2^-61) coin. Values are plain
+// uint64_t in [0, p); the field object carries the modulus. This keeps
+// element storage flat (vectors of uint64_t) which matters for the O(n^2)
+// share matrices the VSS moves around.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace ssbft {
+
+class PrimeField {
+ public:
+  // Largest prime we use by default: 2^61 - 1.
+  static constexpr std::uint64_t kDefaultPrime = 2305843009213693951ULL;
+
+  // p must be prime (checked with Miller-Rabin) and >= 2.
+  explicit PrimeField(std::uint64_t p = kDefaultPrime);
+
+  std::uint64_t modulus() const { return p_; }
+
+  // True iff v is a canonical representative (< p).
+  bool valid(std::uint64_t v) const { return v < p_; }
+  // Canonicalize an arbitrary 64-bit value (used on untrusted input).
+  std::uint64_t reduce(std::uint64_t v) const { return v % p_; }
+
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const;
+  std::uint64_t sub(std::uint64_t a, std::uint64_t b) const;
+  std::uint64_t neg(std::uint64_t a) const;
+  std::uint64_t mul(std::uint64_t a, std::uint64_t b) const;
+  std::uint64_t pow(std::uint64_t a, std::uint64_t e) const;
+  // Multiplicative inverse; a must be nonzero.
+  std::uint64_t inv(std::uint64_t a) const;
+
+  // Uniformly random element of [0, p).
+  std::uint64_t uniform(Rng& rng) const;
+  // Uniformly random nonzero element.
+  std::uint64_t uniform_nonzero(Rng& rng) const;
+
+  bool operator==(const PrimeField& o) const { return p_ == o.p_; }
+
+ private:
+  std::uint64_t p_;
+};
+
+}  // namespace ssbft

@@ -1,0 +1,119 @@
+#include "field/poly.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace ssbft {
+
+Poly::Poly(std::vector<std::uint64_t> coeffs) : coeffs_(std::move(coeffs)) {
+  normalize();
+}
+
+Poly Poly::random_with_constant(const PrimeField& F, int deg,
+                                std::uint64_t constant, Rng& rng) {
+  SSBFT_REQUIRE(deg >= 0 && F.valid(constant));
+  std::vector<std::uint64_t> c(static_cast<std::size_t>(deg) + 1);
+  c[0] = constant;
+  for (int i = 1; i <= deg; ++i) c[static_cast<std::size_t>(i)] = F.uniform(rng);
+  return Poly(std::move(c));
+}
+
+Poly Poly::random(const PrimeField& F, int deg, Rng& rng) {
+  SSBFT_REQUIRE(deg >= 0);
+  std::vector<std::uint64_t> c(static_cast<std::size_t>(deg) + 1);
+  for (auto& x : c) x = F.uniform(rng);
+  return Poly(std::move(c));
+}
+
+int Poly::degree() const { return static_cast<int>(coeffs_.size()) - 1; }
+
+bool Poly::is_zero() const { return coeffs_.empty(); }
+
+void Poly::normalize() {
+  while (!coeffs_.empty() && coeffs_.back() == 0) coeffs_.pop_back();
+}
+
+std::uint64_t Poly::eval(const PrimeField& F, std::uint64_t x) const {
+  // Horner's rule.
+  std::uint64_t acc = 0;
+  for (std::size_t i = coeffs_.size(); i-- > 0;) {
+    acc = F.add(F.mul(acc, x), coeffs_[i]);
+  }
+  return acc;
+}
+
+Poly Poly::add(const PrimeField& F, const Poly& o) const {
+  std::vector<std::uint64_t> c(std::max(coeffs_.size(), o.coeffs_.size()), 0);
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] = F.add(coeff(i), o.coeff(i));
+  return Poly(std::move(c));
+}
+
+Poly Poly::sub(const PrimeField& F, const Poly& o) const {
+  std::vector<std::uint64_t> c(std::max(coeffs_.size(), o.coeffs_.size()), 0);
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] = F.sub(coeff(i), o.coeff(i));
+  return Poly(std::move(c));
+}
+
+Poly Poly::mul(const PrimeField& F, const Poly& o) const {
+  if (is_zero() || o.is_zero()) return Poly();
+  std::vector<std::uint64_t> c(coeffs_.size() + o.coeffs_.size() - 1, 0);
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    if (coeffs_[i] == 0) continue;
+    for (std::size_t j = 0; j < o.coeffs_.size(); ++j) {
+      c[i + j] = F.add(c[i + j], F.mul(coeffs_[i], o.coeffs_[j]));
+    }
+  }
+  return Poly(std::move(c));
+}
+
+Poly Poly::scale(const PrimeField& F, std::uint64_t c) const {
+  std::vector<std::uint64_t> out(coeffs_.size());
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) out[i] = F.mul(coeffs_[i], c);
+  return Poly(std::move(out));
+}
+
+std::pair<Poly, Poly> Poly::divmod(const PrimeField& F, const Poly& divisor) const {
+  SSBFT_REQUIRE_MSG(!divisor.is_zero(), "polynomial division by zero");
+  std::vector<std::uint64_t> rem = coeffs_;
+  const int dd = divisor.degree();
+  const std::uint64_t lead_inv = F.inv(divisor.coeffs_.back());
+  std::vector<std::uint64_t> quot;
+  if (degree() >= dd) quot.assign(static_cast<std::size_t>(degree() - dd) + 1, 0);
+  for (int i = degree(); i >= dd; --i) {
+    const std::size_t ui = static_cast<std::size_t>(i);
+    if (rem.size() <= ui || rem[ui] == 0) continue;
+    const std::uint64_t q = F.mul(rem[ui], lead_inv);
+    quot[static_cast<std::size_t>(i - dd)] = q;
+    for (int j = 0; j <= dd; ++j) {
+      const std::size_t ri = static_cast<std::size_t>(i - dd + j);
+      rem[ri] = F.sub(rem[ri], F.mul(q, divisor.coeff(static_cast<std::size_t>(j))));
+    }
+  }
+  return {Poly(std::move(quot)), Poly(std::move(rem))};
+}
+
+Poly lagrange_interpolate(const PrimeField& F,
+                          const std::vector<std::uint64_t>& xs,
+                          const std::vector<std::uint64_t>& ys) {
+  SSBFT_REQUIRE(xs.size() == ys.size() && !xs.empty());
+  const std::size_t m = xs.size();
+  // result = sum_i ys[i] * prod_{j != i} (x - xs[j]) / (xs[i] - xs[j])
+  Poly result;
+  for (std::size_t i = 0; i < m; ++i) {
+    Poly basis(std::vector<std::uint64_t>{1});
+    std::uint64_t denom = 1;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (j == i) continue;
+      // basis *= (x - xs[j])
+      basis = basis.mul(F, Poly(std::vector<std::uint64_t>{F.neg(xs[j]), 1}));
+      const std::uint64_t d = F.sub(xs[i], xs[j]);
+      SSBFT_REQUIRE_MSG(d != 0, "interpolation nodes must be distinct");
+      denom = F.mul(denom, d);
+    }
+    result = result.add(F, basis.scale(F, F.mul(ys[i], F.inv(denom))));
+  }
+  return result;
+}
+
+}  // namespace ssbft

@@ -1,0 +1,80 @@
+#include "field/reed_solomon.h"
+
+#include "field/matrix.h"
+#include "support/check.h"
+
+namespace ssbft {
+
+namespace {
+
+// Attempts decoding with exactly `e` as the error-locator degree. The key
+// equation is Q(x_i) = y_i * E(x_i) for all i, with deg Q <= d + e and
+// E monic of degree e. Unknowns: q_0..q_{d+e}, e_0..e_{e-1}.
+std::optional<Poly> try_decode(const PrimeField& F,
+                               const std::vector<RsPoint>& pts, int d, int e) {
+  const std::size_t m = pts.size();
+  const std::size_t nq = static_cast<std::size_t>(d + e) + 1;
+  const std::size_t ne = static_cast<std::size_t>(e);
+  Matrix A(m, nq + ne);
+  std::vector<std::uint64_t> b(m, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint64_t x = pts[i].x;
+    const std::uint64_t y = pts[i].y;
+    // Q coefficients: + x^j
+    std::uint64_t xp = 1;
+    for (std::size_t j = 0; j < nq; ++j) {
+      A.at(i, j) = xp;
+      xp = F.mul(xp, x);
+    }
+    // E coefficients: - y * x^j   (monic term y * x^e goes to the rhs)
+    xp = 1;
+    for (std::size_t j = 0; j < ne; ++j) {
+      A.at(i, nq + j) = F.neg(F.mul(y, xp));
+      xp = F.mul(xp, x);
+    }
+    b[i] = F.mul(y, F.pow(x, static_cast<std::uint64_t>(e)));
+  }
+  auto sol = solve_linear(F, std::move(A), std::move(b));
+  if (!sol) return std::nullopt;
+  std::vector<std::uint64_t> qc(sol->begin(), sol->begin() + static_cast<long>(nq));
+  std::vector<std::uint64_t> ec(sol->begin() + static_cast<long>(nq), sol->end());
+  ec.push_back(1);  // monic
+  Poly Q(std::move(qc)), E(std::move(ec));
+  auto [quot, rem] = Q.divmod(F, E);
+  if (!rem.is_zero()) return std::nullopt;
+  if (quot.degree() > d) return std::nullopt;
+  return quot;
+}
+
+}  // namespace
+
+std::optional<Poly> berlekamp_welch(const PrimeField& F,
+                                    const std::vector<RsPoint>& points,
+                                    int degree, int max_errors) {
+  SSBFT_REQUIRE(degree >= 0 && max_errors >= 0);
+  const int m = static_cast<int>(points.size());
+  if (m < degree + 1) return std::nullopt;  // underdetermined
+  // Need m >= degree + 2e + 1 to correct e errors; clamp the attempt range.
+  int e_hi = std::min(max_errors, (m - degree - 1) / 2);
+  // Try the largest admissible error count first: the solution space for
+  // e' > actual errors still contains (E * spurious) solutions that divide
+  // out, so the first success is the true codeword. Descend on failure
+  // (e.g. degenerate systems) and accept the first verified decode.
+  for (int e = e_hi; e >= 0; --e) {
+    auto p = try_decode(F, points, degree, e);
+    if (!p) continue;
+    if (count_disagreements(F, *p, points) <= max_errors) return p;
+  }
+  return std::nullopt;
+}
+
+int count_disagreements(const PrimeField& F, const Poly& p,
+                        const std::vector<RsPoint>& points) {
+  int bad = 0;
+  for (const auto& pt : points) {
+    if (p.eval(F, pt.x) != pt.y) ++bad;
+  }
+  return bad;
+}
+
+}  // namespace ssbft

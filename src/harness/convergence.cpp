@@ -1,0 +1,59 @@
+#include "harness/convergence.h"
+
+#include "support/check.h"
+
+namespace ssbft {
+
+bool clocks_agree(const Engine& engine) {
+  const auto clocks = engine.correct_clocks();
+  for (const ClockValue c : clocks) {
+    if (c != clocks.front()) return false;
+  }
+  return !clocks.empty();
+}
+
+ConvergenceResult measure_convergence(Engine& engine,
+                                      const ConvergenceConfig& cfg) {
+  SSBFT_REQUIRE(!engine.correct_ids().empty());
+  const auto* first =
+      dynamic_cast<const ClockProtocol*>(&engine.node(engine.correct_ids()[0]));
+  SSBFT_REQUIRE_MSG(first != nullptr, "engine does not host ClockProtocols");
+  const ClockValue k = first->modulus();
+
+  ConvergenceResult res;
+  std::optional<ClockValue> prev_common;
+  Beat streak_start = 0;
+  std::uint64_t streak = 0;
+
+  for (std::uint64_t i = 0; i < cfg.max_beats; ++i) {
+    engine.run_beat();
+    ++res.beats_run;
+    const Beat b = engine.beat() - 1;  // the beat just executed
+    std::optional<ClockValue> common;
+    if (clocks_agree(engine)) common = engine.correct_clocks().front();
+
+    const bool continues = common.has_value() &&
+                           (!prev_common.has_value() ||
+                            (streak > 0 && *common == (*prev_common + 1) % k));
+    if (common.has_value() && (streak == 0 || continues)) {
+      if (streak == 0) streak_start = b;
+      ++streak;
+    } else if (common.has_value()) {
+      // Synced but the increment chain broke: a fresh sync starts here.
+      streak_start = b;
+      streak = 1;
+    } else {
+      streak = 0;
+    }
+    prev_common = common;
+
+    if (streak >= cfg.confirm_window) {
+      res.converged = true;
+      res.synced_at = streak_start;
+      return res;
+    }
+  }
+  return res;
+}
+
+}  // namespace ssbft

@@ -1,0 +1,52 @@
+#include "harness/runner.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace ssbft {
+
+namespace {
+
+double percentile(std::vector<std::uint64_t> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double idx = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return static_cast<double>(sorted[lo]) * (1.0 - frac) +
+         static_cast<double>(sorted[hi]) * frac;
+}
+
+}  // namespace
+
+TrialStats run_trials(const EngineBuilder& builder, const RunnerConfig& cfg) {
+  TrialStats stats;
+  stats.trials = cfg.trials;
+  double msgs_acc = 0.0;
+  for (std::uint64_t t = 0; t < cfg.trials; ++t) {
+    EngineBundle bundle = builder(cfg.base_seed + t);
+    SSBFT_CHECK(bundle.engine != nullptr);
+    const ConvergenceResult r =
+        measure_convergence(*bundle.engine, cfg.convergence);
+    if (r.converged) {
+      ++stats.converged;
+      stats.samples.push_back(r.synced_at);
+    }
+    msgs_acc += bundle.engine->metrics().mean_correct_messages_per_beat();
+  }
+  stats.mean_msgs_per_beat = msgs_acc / static_cast<double>(cfg.trials);
+  if (!stats.samples.empty()) {
+    std::vector<std::uint64_t> sorted = stats.samples;
+    std::sort(sorted.begin(), sorted.end());
+    double sum = 0.0;
+    for (auto s : sorted) sum += static_cast<double>(s);
+    stats.mean = sum / static_cast<double>(sorted.size());
+    stats.median = percentile(sorted, 0.5);
+    stats.p90 = percentile(sorted, 0.9);
+    stats.max = sorted.back();
+  }
+  return stats;
+}
+
+}  // namespace ssbft

@@ -1,0 +1,31 @@
+// ASCII table and CSV emitters for the benchmark binaries, so every
+// experiment prints a paper-style table plus machine-readable rows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ssbft {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  // Renders with column widths fitted to content, pipe-separated.
+  void print(std::ostream& os) const;
+  // Comma-separated, one line per row, headers first.
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Fixed-precision double formatting helper for table cells.
+std::string fmt_double(double v, int precision = 1);
+
+}  // namespace ssbft

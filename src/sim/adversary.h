@@ -1,0 +1,66 @@
+// The Byzantine adversary interface.
+//
+// Adversary model (Section 2): information-theoretic, private channels,
+// rushing. Concretely, each beat the adversary is shown exactly the
+// messages addressed to faulty nodes — including this beat's, before it has
+// to commit its own sends (rushing) — and nothing that flows between
+// correct nodes. It then emits arbitrary messages from the faulty nodes,
+// with per-recipient equivocation. Sender identity is enforced by the
+// engine (Definition 2.2.2). Strategies keep whatever memory they like.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/message.h"
+#include "support/rng.h"
+#include "support/types.h"
+
+namespace ssbft {
+
+class AdversaryContext {
+ public:
+  AdversaryContext(std::uint32_t n, std::uint32_t f,
+                   const std::vector<NodeId>& faulty, Beat beat,
+                   const std::vector<Message>& observed, Rng& rng,
+                   std::uint32_t channel_count)
+      : n_(n), f_(f), faulty_(faulty), beat_(beat), observed_(observed),
+        rng_(rng), channel_count_(channel_count) {}
+
+  std::uint32_t n() const { return n_; }
+  std::uint32_t f() const { return f_; }
+  const std::vector<NodeId>& faulty() const { return faulty_; }
+  // The global beat index. Handed to the adversary only (footnote 4: nodes
+  // never see it; the adversary is part of the environment and may).
+  Beat beat() const { return beat_; }
+  // Every message sent by a correct node to a faulty node this beat, in
+  // deterministic (sender, emission) order. This is the rushing view.
+  const std::vector<Message>& observed() const { return observed_; }
+  Rng& rng() { return rng_; }
+  std::uint32_t channel_count() const { return channel_count_; }
+
+  // Emit a message from a faulty node. `from` must be faulty.
+  void send(NodeId from, NodeId to, ChannelId channel, Bytes payload);
+  // Same payload from `from` to every node.
+  void broadcast(NodeId from, ChannelId channel, const Bytes& payload);
+
+  std::vector<Message> take_sends() { return std::move(sends_); }
+
+ private:
+  std::uint32_t n_, f_;
+  const std::vector<NodeId>& faulty_;
+  Beat beat_;
+  const std::vector<Message>& observed_;
+  Rng& rng_;
+  std::uint32_t channel_count_;
+  std::vector<Message> sends_;
+};
+
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+  // Called once per beat, after all correct nodes committed their sends.
+  virtual void act(AdversaryContext& ctx) = 0;
+};
+
+}  // namespace ssbft

@@ -1,0 +1,188 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace ssbft {
+
+void AdversaryContext::send(NodeId from, NodeId to, ChannelId channel,
+                            Bytes payload) {
+  SSBFT_REQUIRE_MSG(to < n_, "adversary send target out of range");
+  const bool from_is_faulty =
+      std::find(faulty_.begin(), faulty_.end(), from) != faulty_.end();
+  SSBFT_REQUIRE_MSG(from_is_faulty,
+                    "adversary may only send from faulty nodes (sender "
+                    "identity is unforgeable, Definition 2.2.2)");
+  sends_.push_back(Message{from, to, channel, std::move(payload)});
+}
+
+void AdversaryContext::broadcast(NodeId from, ChannelId channel,
+                                 const Bytes& payload) {
+  for (NodeId to = 0; to < n_; ++to) send(from, to, channel, payload);
+}
+
+std::vector<NodeId> EngineConfig::last_ids_faulty(std::uint32_t n,
+                                                  std::uint32_t count) {
+  SSBFT_REQUIRE(count <= n);
+  std::vector<NodeId> ids;
+  ids.reserve(count);
+  for (std::uint32_t i = n - count; i < n; ++i) ids.push_back(i);
+  return ids;
+}
+
+Engine::Engine(EngineConfig cfg, const ProtocolFactory& factory,
+               std::unique_ptr<Adversary> adversary)
+    : cfg_(std::move(cfg)),
+      adversary_(std::move(adversary)),
+      adv_rng_(Rng(cfg_.seed).split("adversary")),
+      corrupt_rng_(Rng(cfg_.seed).split("corrupt")),
+      net_rng_(Rng(cfg_.seed).split("network")) {
+  SSBFT_REQUIRE(cfg_.n >= 1);
+  SSBFT_REQUIRE_MSG(adversary_ != nullptr || cfg_.faulty.empty(),
+                    "faulty nodes present but no adversary supplied");
+  is_faulty_.assign(cfg_.n, false);
+  for (NodeId id : cfg_.faulty) {
+    SSBFT_REQUIRE(id < cfg_.n);
+    is_faulty_[id] = true;
+  }
+  protocols_.resize(cfg_.n);
+  const Rng seed_root(cfg_.seed);
+  for (NodeId id = 0; id < cfg_.n; ++id) {
+    if (is_faulty_[id]) continue;
+    correct_ids_.push_back(id);
+    ProtocolEnv env{id, cfg_.n, cfg_.f};
+    protocols_[id] = factory(env, seed_root.split("node", id));
+    SSBFT_CHECK(protocols_[id] != nullptr);
+    channel_count_ =
+        std::max(channel_count_, protocols_[id]->channel_count());
+    if (cfg_.faults.randomize_genesis) {
+      protocols_[id]->randomize_state(corrupt_rng_);
+    }
+  }
+  inboxes_.reserve(cfg_.n);
+  for (NodeId id = 0; id < cfg_.n; ++id) {
+    inboxes_.emplace_back(cfg_.n, channel_count_);
+  }
+}
+
+Engine::~Engine() = default;
+
+Protocol& Engine::node(NodeId id) {
+  SSBFT_REQUIRE_MSG(id < cfg_.n && !is_faulty_[id],
+                    "node(" << id << ") is faulty or out of range");
+  return *protocols_[id];
+}
+
+const Protocol& Engine::node(NodeId id) const {
+  SSBFT_REQUIRE_MSG(id < cfg_.n && !is_faulty_[id],
+                    "node(" << id << ") is faulty or out of range");
+  return *protocols_[id];
+}
+
+std::vector<ClockValue> Engine::correct_clocks() const {
+  std::vector<ClockValue> out;
+  out.reserve(correct_ids_.size());
+  for (NodeId id : correct_ids_) {
+    const auto* cp = dynamic_cast<const ClockProtocol*>(protocols_[id].get());
+    SSBFT_REQUIRE_MSG(cp != nullptr, "protocol is not a ClockProtocol");
+    out.push_back(cp->clock());
+  }
+  return out;
+}
+
+void Engine::corrupt_node(NodeId id) {
+  SSBFT_REQUIRE(id < cfg_.n && !is_faulty_[id]);
+  protocols_[id]->randomize_state(corrupt_rng_);
+}
+
+void Engine::run_beat() {
+  metrics_.begin_beat();
+  for (BeatListener* l : listeners_) l->on_beat(beat_);
+
+  // Scheduled transient faults fire before the send phase of their beat.
+  if (auto it = cfg_.faults.corruptions.find(beat_);
+      it != cfg_.faults.corruptions.end()) {
+    for (NodeId id : it->second) {
+      if (!is_faulty_[id]) protocols_[id]->randomize_state(corrupt_rng_);
+    }
+  }
+
+  // 1. Send phases: pure functions of pre-beat state, in id order.
+  std::vector<Message> correct_msgs;
+  for (NodeId id : correct_ids_) {
+    Outbox out(id, cfg_.n);
+    protocols_[id]->send_phase(out);
+    for (Message& m : out.take()) {
+      metrics_.count_correct(m.payload.size());
+      correct_msgs.push_back(std::move(m));
+    }
+  }
+
+  // 2. Adversary turn (rushing): it sees exactly the beat-r messages
+  //    addressed to faulty nodes, then commits the faulty nodes' sends.
+  std::vector<Message> adv_msgs;
+  if (adversary_ != nullptr && !cfg_.faulty.empty()) {
+    std::vector<Message> observed;
+    for (const Message& m : correct_msgs) {
+      if (is_faulty_[m.to]) observed.push_back(m);
+    }
+    AdversaryContext ctx(cfg_.n, cfg_.f, cfg_.faulty, beat_, observed,
+                         adv_rng_, channel_count_);
+    adversary_->act(ctx);
+    adv_msgs = ctx.take_sends();
+    for (const Message& m : adv_msgs) metrics_.count_adversary(m.payload.size());
+  }
+
+  // 3. Delivery (with network faults during the faulty prefix).
+  const bool network_faulty = beat_ < cfg_.faults.network_faulty_until;
+  for (Inbox& ib : inboxes_) ib.clear();
+  deliver(correct_msgs, /*from_adversary=*/false, net_rng_, network_faulty);
+  deliver(adv_msgs, /*from_adversary=*/true, net_rng_, network_faulty);
+  if (network_faulty) inject_phantoms(net_rng_);
+
+  // 4. Receive phases.
+  for (NodeId id : correct_ids_) {
+    protocols_[id]->receive_phase(inboxes_[id]);
+  }
+
+  ++beat_;
+}
+
+void Engine::run_beats(std::uint64_t count) {
+  for (std::uint64_t i = 0; i < count; ++i) run_beat();
+}
+
+void Engine::deliver(const std::vector<Message>& msgs, bool /*from_adversary*/,
+                     Rng& net_rng, bool network_faulty) {
+  for (const Message& m : msgs) {
+    if (is_faulty_[m.to]) continue;  // faulty inboxes live in the adversary
+    if (network_faulty && cfg_.faults.faulty_drop_prob > 0.0 &&
+        net_rng.next_bernoulli(cfg_.faults.faulty_drop_prob)) {
+      continue;
+    }
+    inboxes_[m.to].deliver(m);
+  }
+}
+
+void Engine::inject_phantoms(Rng& net_rng) {
+  // Phantom messages: leftovers in network buffers from before the system
+  // became coherent. They carry arbitrary (but unforged-looking) sender
+  // ids, channels and payloads.
+  for (NodeId id : correct_ids_) {
+    for (std::uint32_t i = 0; i < cfg_.faults.phantoms_per_beat; ++i) {
+      Message m;
+      m.from = static_cast<NodeId>(net_rng.next_below(cfg_.n));
+      m.to = id;
+      m.channel = static_cast<ChannelId>(
+          net_rng.next_below(std::max<std::uint32_t>(channel_count_, 1)));
+      const std::size_t len = net_rng.next_below(cfg_.faults.phantom_max_len + 1);
+      m.payload.resize(len);
+      for (auto& b : m.payload) b = static_cast<std::uint8_t>(net_rng.next_below(256));
+      metrics_.count_phantom();
+      inboxes_[id].deliver(std::move(m));
+    }
+  }
+}
+
+}  // namespace ssbft

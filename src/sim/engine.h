@@ -1,0 +1,103 @@
+// The lock-step simulation engine: global beat system, rushing Byzantine
+// adversary, transient/network fault injection, deterministic replay.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/adversary.h"
+#include "sim/fault_plan.h"
+#include "sim/message.h"
+#include "sim/metrics.h"
+#include "sim/protocol.h"
+#include "support/rng.h"
+
+namespace ssbft {
+
+// Hook invoked at the start of every beat, before any send phase. Used by
+// environment-level components such as the oracle coin beacon.
+class BeatListener {
+ public:
+  virtual ~BeatListener() = default;
+  virtual void on_beat(Beat beat) = 0;
+};
+
+struct EngineConfig {
+  std::uint32_t n = 4;
+  std::uint32_t f = 1;
+  // Identities of the Byzantine nodes (size <= f typically; the engine
+  // permits any subset so resiliency-boundary experiments can overload f).
+  std::vector<NodeId> faulty;
+  std::uint64_t seed = 1;
+  FaultPlan faults;
+
+  // The highest-id nodes are faulty by default.
+  static std::vector<NodeId> last_ids_faulty(std::uint32_t n, std::uint32_t count);
+};
+
+using ProtocolFactory =
+    std::function<std::unique_ptr<Protocol>(const ProtocolEnv&, Rng)>;
+
+class Engine {
+ public:
+  // Builds protocols for every non-faulty node. Per FaultPlan, genesis
+  // state is randomized by default (the self-stabilization start).
+  Engine(EngineConfig cfg, const ProtocolFactory& factory,
+         std::unique_ptr<Adversary> adversary);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Executes one full beat (listener hooks, scheduled corruption, send
+  // phases, adversary, delivery with network faults, receive phases).
+  void run_beat();
+  void run_beats(std::uint64_t count);
+
+  Beat beat() const { return beat_; }
+  std::uint32_t n() const { return cfg_.n; }
+  std::uint32_t f() const { return cfg_.f; }
+
+  bool is_faulty(NodeId id) const { return is_faulty_[id]; }
+  const std::vector<NodeId>& correct_ids() const { return correct_ids_; }
+
+  // The protocol instance of a correct node.
+  Protocol& node(NodeId id);
+  const Protocol& node(NodeId id) const;
+
+  // Clock values of all correct nodes, in correct_ids() order. Requires the
+  // protocols to be ClockProtocols.
+  std::vector<ClockValue> correct_clocks() const;
+
+  // Immediately randomizes the state of a correct node (manual transient
+  // fault, in addition to any FaultPlan schedule).
+  void corrupt_node(NodeId id);
+
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+
+  // Listener is not owned; must outlive the engine's run.
+  void add_listener(BeatListener* l) { listeners_.push_back(l); }
+
+ private:
+  void deliver(const std::vector<Message>& msgs, bool from_adversary,
+               Rng& net_rng, bool network_faulty);
+  void inject_phantoms(Rng& net_rng);
+
+  EngineConfig cfg_;
+  Beat beat_ = 0;
+  std::vector<bool> is_faulty_;
+  std::vector<NodeId> correct_ids_;
+  std::vector<std::unique_ptr<Protocol>> protocols_;  // null for faulty ids
+  std::vector<Inbox> inboxes_;                        // per node id
+  std::unique_ptr<Adversary> adversary_;
+  std::uint32_t channel_count_ = 0;
+  Rng adv_rng_;
+  Rng corrupt_rng_;
+  Rng net_rng_;
+  Metrics metrics_;
+  std::vector<BeatListener*> listeners_;
+};
+
+}  // namespace ssbft

@@ -1,0 +1,38 @@
+// Transient-fault and network-fault injection schedules.
+//
+// Models the paper's failure assumptions beyond Byzantine nodes: arbitrary
+// memory corruption of non-faulty nodes, and a communication network that
+// may deliver "phantom" messages / lose messages until it becomes non-faulty
+// (Definition 2.2 and the surrounding discussion).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "support/types.h"
+
+namespace ssbft {
+
+struct FaultPlan {
+  // Start every node from an arbitrary memory state. This is the default
+  // initial condition of every convergence experiment ("starting from any
+  // state", Definition 3.2).
+  bool randomize_genesis = true;
+
+  // Nodes whose entire state is randomized immediately before the send
+  // phase of the given beat (mid-run transient faults).
+  std::map<Beat, std::vector<NodeId>> corruptions;
+
+  // The communication network is faulty for beats < network_faulty_until:
+  // phantom messages (never sent by any current node) may be delivered and
+  // real messages may be lost. From this beat on, Definition 2.2 holds.
+  Beat network_faulty_until = 0;
+  // Phantom messages injected into each correct node per faulty-network beat.
+  std::uint32_t phantoms_per_beat = 0;
+  std::uint32_t phantom_max_len = 64;
+  // Probability that a real message is dropped during a faulty-network beat.
+  double faulty_drop_prob = 0.0;
+};
+
+}  // namespace ssbft

@@ -1,0 +1,45 @@
+#include "sim/message.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace ssbft {
+
+void Outbox::send(NodeId to, ChannelId channel, Bytes payload) {
+  SSBFT_REQUIRE_MSG(to < n_, "send target out of range");
+  msgs_.push_back(Message{self_, to, channel, std::move(payload)});
+}
+
+void Outbox::broadcast(ChannelId channel, const Bytes& payload) {
+  for (NodeId to = 0; to < n_; ++to) {
+    msgs_.push_back(Message{self_, to, channel, payload});
+  }
+}
+
+Inbox::Inbox(std::uint32_t n, std::uint32_t max_channels)
+    : n_(n), by_channel_(max_channels) {}
+
+void Inbox::deliver(Message m) {
+  if (m.channel >= by_channel_.size()) return;  // unknown stream: dropped
+  by_channel_[m.channel].push_back(std::move(m));
+}
+
+void Inbox::clear() {
+  for (auto& v : by_channel_) v.clear();
+}
+
+const std::vector<Message>& Inbox::on(ChannelId channel) const {
+  if (channel >= by_channel_.size()) return overflow_discard_;
+  return by_channel_[channel];
+}
+
+std::vector<const Bytes*> Inbox::first_per_sender(ChannelId channel) const {
+  std::vector<const Bytes*> out(n_, nullptr);
+  for (const Message& m : on(channel)) {
+    if (m.from < n_ && out[m.from] == nullptr) out[m.from] = &m.payload;
+  }
+  return out;
+}
+
+}  // namespace ssbft

@@ -1,0 +1,73 @@
+// Message model and per-beat inbox/outbox plumbing.
+//
+// Messages are (from, to, channel, payload-bytes). Channels identify logical
+// sub-protocol streams inside a composed stack (e.g. "A1's coin, round 3");
+// a parent protocol assigns its children disjoint channel ranges, which is
+// the paper's "session number" device made static: only a fixed window of
+// sub-protocol instances co-execute, so a fixed channel space suffices and
+// is trivially recyclable (self-stabilization needs no unbounded counters).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/bytes.h"
+#include "support/types.h"
+
+namespace ssbft {
+
+struct Message {
+  NodeId from = 0;
+  NodeId to = 0;
+  ChannelId channel = 0;
+  Bytes payload;
+};
+
+// Collects a node's sends during its send phase. The engine enforces the
+// sender identity (Definition 2.2: sender ids cannot be forged).
+class Outbox {
+ public:
+  Outbox(NodeId self, std::uint32_t n) : self_(self), n_(n) {}
+
+  // Point-to-point send.
+  void send(NodeId to, ChannelId channel, Bytes payload);
+  // "Broadcast" in the paper's sense: send the same payload to all n nodes,
+  // including self (no broadcast channels are assumed).
+  void broadcast(ChannelId channel, const Bytes& payload);
+
+  const std::vector<Message>& messages() const { return msgs_; }
+  std::vector<Message> take() { return std::move(msgs_); }
+  void clear() { msgs_.clear(); }
+
+ private:
+  NodeId self_;
+  std::uint32_t n_;
+  std::vector<Message> msgs_;
+};
+
+// A node's view of the messages delivered to it during one beat.
+class Inbox {
+ public:
+  Inbox(std::uint32_t n, std::uint32_t max_channels);
+
+  void deliver(Message m);
+  void clear();
+
+  // All messages on a channel, ordered by sender id (then arrival order for
+  // duplicates). Channels out of range return an empty vector.
+  const std::vector<Message>& on(ChannelId channel) const;
+
+  // At most one payload per sender on a channel: the first message each
+  // sender delivered. Index s is null if sender s sent nothing valid.
+  // Byzantine duplicate floods therefore count once, deterministically.
+  std::vector<const Bytes*> first_per_sender(ChannelId channel) const;
+
+  std::uint32_t node_count() const { return n_; }
+
+ private:
+  std::uint32_t n_;
+  std::vector<std::vector<Message>> by_channel_;
+  std::vector<Message> overflow_discard_;  // canonical empty vector storage
+};
+
+}  // namespace ssbft

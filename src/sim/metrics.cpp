@@ -1,0 +1,38 @@
+#include "sim/metrics.h"
+
+namespace ssbft {
+
+void Metrics::begin_beat() { history_.emplace_back(); }
+
+void Metrics::count_correct(std::size_t payload_bytes) {
+  ++history_.back().correct_messages;
+  history_.back().correct_bytes += payload_bytes;
+  ++total_.correct_messages;
+  total_.correct_bytes += payload_bytes;
+}
+
+void Metrics::count_adversary(std::size_t payload_bytes) {
+  ++history_.back().adversary_messages;
+  history_.back().adversary_bytes += payload_bytes;
+  ++total_.adversary_messages;
+  total_.adversary_bytes += payload_bytes;
+}
+
+void Metrics::count_phantom() {
+  ++history_.back().phantom_messages;
+  ++total_.phantom_messages;
+}
+
+double Metrics::mean_correct_messages_per_beat() const {
+  if (history_.empty()) return 0.0;
+  return static_cast<double>(total_.correct_messages) /
+         static_cast<double>(history_.size());
+}
+
+double Metrics::mean_correct_bytes_per_beat() const {
+  if (history_.empty()) return 0.0;
+  return static_cast<double>(total_.correct_bytes) /
+         static_cast<double>(history_.size());
+}
+
+}  // namespace ssbft

@@ -1,0 +1,40 @@
+// Per-beat traffic accounting, used by the message-complexity benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/types.h"
+
+namespace ssbft {
+
+struct BeatTraffic {
+  std::uint64_t correct_messages = 0;
+  std::uint64_t correct_bytes = 0;
+  std::uint64_t adversary_messages = 0;
+  std::uint64_t adversary_bytes = 0;
+  std::uint64_t phantom_messages = 0;
+};
+
+class Metrics {
+ public:
+  void begin_beat();
+  void count_correct(std::size_t payload_bytes);
+  void count_adversary(std::size_t payload_bytes);
+  void count_phantom();
+
+  // Totals across all beats so far.
+  const BeatTraffic& total() const { return total_; }
+  // Per-beat history (entry b = beat b).
+  const std::vector<BeatTraffic>& history() const { return history_; }
+
+  // Mean correct messages / bytes per beat over the recorded history.
+  double mean_correct_messages_per_beat() const;
+  double mean_correct_bytes_per_beat() const;
+
+ private:
+  BeatTraffic total_;
+  std::vector<BeatTraffic> history_;
+};
+
+}  // namespace ssbft

@@ -1,0 +1,101 @@
+#include "support/bytes.h"
+
+namespace ssbft {
+
+void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::u64_vec(const std::vector<std::uint64_t>& v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  for (std::uint64_t x : v) u64(x);
+}
+
+void ByteWriter::bytes(const Bytes& v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+bool ByteReader::take(std::size_t len, const std::uint8_t** out) {
+  if (!ok_ || buf_->size() - pos_ < len) {
+    ok_ = false;
+    return false;
+  }
+  *out = buf_->data() + pos_;
+  pos_ += len;
+  return true;
+}
+
+std::uint8_t ByteReader::u8() {
+  const std::uint8_t* p = nullptr;
+  if (!take(1, &p)) return 0;
+  return p[0];
+}
+
+std::uint16_t ByteReader::u16() {
+  const std::uint8_t* p = nullptr;
+  if (!take(2, &p)) return 0;
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t ByteReader::u32() {
+  const std::uint8_t* p = nullptr;
+  if (!take(4, &p)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  const std::uint8_t* p = nullptr;
+  if (!take(8, &p)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::vector<std::uint64_t> ByteReader::u64_vec(std::size_t max_elems) {
+  std::uint32_t n = u32();
+  if (!ok_ || n > max_elems || remaining() < std::size_t{n} * 8) {
+    ok_ = false;
+    return {};
+  }
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = u64();
+  return v;
+}
+
+Bytes ByteReader::bytes(std::size_t max_len) {
+  std::uint32_t n = u32();
+  if (!ok_ || n > max_len || remaining() < n) {
+    ok_ = false;
+    return {};
+  }
+  const std::uint8_t* p = nullptr;
+  take(n, &p);
+  return Bytes(p, p + n);
+}
+
+std::string to_hex(const Bytes& b) {
+  static const char* digits = "0123456789abcdef";
+  std::string s;
+  s.reserve(b.size() * 2);
+  for (std::uint8_t c : b) {
+    s.push_back(digits[c >> 4]);
+    s.push_back(digits[c & 0xf]);
+  }
+  return s;
+}
+
+}  // namespace ssbft

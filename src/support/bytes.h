@@ -1,0 +1,71 @@
+// Bounded, failure-tolerant byte serialization.
+//
+// All protocol messages travel as flat byte vectors. Byzantine senders may
+// put arbitrary bytes on the wire, so the reader never throws on malformed
+// input: it latches a failure flag and yields zeros, and decoders check
+// `ok() && at_end()` once at the end. A message that fails to decode is
+// treated by every protocol as absent (the paper's nodes simply ignore
+// gibberish — Definition 2.2 only guarantees integrity of what was sent).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ssbft {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// Little-endian append-only encoder.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  // Length-prefixed (u32) vector of u64 values.
+  void u64_vec(const std::vector<std::uint64_t>& v);
+  // Length-prefixed (u32) raw bytes.
+  void bytes(const Bytes& v);
+
+  const Bytes& data() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+// Bounds-checked decoder over a borrowed buffer. The buffer must outlive
+// the reader.
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& buf) : buf_(&buf) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  // Reads a length-prefixed u64 vector; the length is capped by
+  // `max_elems` so a hostile length prefix cannot force a huge allocation.
+  std::vector<std::uint64_t> u64_vec(std::size_t max_elems);
+  Bytes bytes(std::size_t max_len);
+
+  // True iff no read has run past the end so far.
+  bool ok() const { return ok_; }
+  // True iff the whole buffer was consumed (and no read failed).
+  bool at_end() const { return ok_ && pos_ == buf_->size(); }
+  std::size_t remaining() const { return ok_ ? buf_->size() - pos_ : 0; }
+
+ private:
+  bool take(std::size_t len, const std::uint8_t** out);
+
+  const Bytes* buf_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Hex dump (for traces and test diagnostics).
+std::string to_hex(const Bytes& b);
+
+}  // namespace ssbft

@@ -1,0 +1,67 @@
+// Lightweight runtime contract checks, enabled in all build types.
+//
+// The simulator is an experiment substrate: a silent invariant violation
+// would poison every measured number downstream, so checks stay on even in
+// release builds. They are cheap relative to protocol work.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ssbft {
+
+// Thrown when a SSBFT_CHECK / SSBFT_REQUIRE contract fails.
+class contract_error : public std::logic_error {
+ public:
+  explicit contract_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw contract_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace ssbft
+
+// Internal invariant ("this cannot happen if the code is right").
+#define SSBFT_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::ssbft::detail::check_failed("invariant", #expr, __FILE__,          \
+                                    __LINE__, "");                         \
+  } while (0)
+
+#define SSBFT_CHECK_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream os_;                                              \
+      os_ << msg;                                                          \
+      ::ssbft::detail::check_failed("invariant", #expr, __FILE__,          \
+                                    __LINE__, os_.str());                  \
+    }                                                                      \
+  } while (0)
+
+// Precondition on a public API ("the caller got it wrong").
+#define SSBFT_REQUIRE(expr)                                                \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::ssbft::detail::check_failed("precondition", #expr, __FILE__,       \
+                                    __LINE__, "");                         \
+  } while (0)
+
+#define SSBFT_REQUIRE_MSG(expr, msg)                                       \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream os_;                                              \
+      os_ << msg;                                                          \
+      ::ssbft::detail::check_failed("precondition", #expr, __FILE__,       \
+                                    __LINE__, os_.str());                  \
+    }                                                                      \
+  } while (0)

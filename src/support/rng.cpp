@@ -1,0 +1,89 @@
+#include "support/rng.h"
+
+#include "support/check.h"
+
+namespace ssbft {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash_label(std::uint64_t seed, std::string_view label) {
+  // FNV-1a over the label, then one splitmix64 round folded with the seed.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  std::uint64_t s = seed ^ h;
+  return splitmix64(s);
+}
+
+Rng::Rng(std::uint64_t seed) : origin_seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& w : s_) w = splitmix64(sm);
+}
+
+static inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t Rng::next_u64() {
+  // xoshiro256** by Blackman & Vigna (public domain reference code).
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  SSBFT_REQUIRE(bound != 0);
+  // Rejection sampling: draw until the value falls in the largest multiple
+  // of `bound` that fits in 64 bits.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+std::uint64_t Rng::next_in(std::uint64_t lo, std::uint64_t hi) {
+  SSBFT_REQUIRE(lo <= hi);
+  const std::uint64_t span = hi - lo;
+  if (span == ~std::uint64_t{0}) return next_u64();
+  return lo + next_below(span + 1);
+}
+
+bool Rng::next_bool() { return (next_u64() >> 63) != 0; }
+
+bool Rng::next_bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double Rng::next_double() {
+  // 53 high bits into [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+Rng Rng::split(std::string_view label) const {
+  return Rng(hash_label(origin_seed_, label));
+}
+
+Rng Rng::split(std::string_view label, std::uint64_t index) const {
+  std::uint64_t base = hash_label(origin_seed_, label);
+  std::uint64_t s = base ^ (index * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL);
+  return Rng(splitmix64(s));
+}
+
+}  // namespace ssbft

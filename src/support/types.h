@@ -1,0 +1,24 @@
+// Fundamental identifier types shared across the library.
+#pragma once
+
+#include <cstdint>
+
+namespace ssbft {
+
+// Index of a node in [0, n). The paper's nodes are anonymous peers; we use
+// dense indices so vectors can be keyed by node.
+using NodeId = std::uint32_t;
+
+// Global beat counter maintained by the *simulator* only. Per Definition 2.5
+// footnote 4, beat indices are never available to the protocols themselves —
+// no protocol code may read a Beat.
+using Beat = std::uint64_t;
+
+// A digital clock value in [0, k).
+using ClockValue = std::uint64_t;
+
+// Identifies a logical sub-protocol message stream within a composed
+// protocol stack (e.g. "2-clock value broadcast" vs "coin round 2").
+using ChannelId = std::uint16_t;
+
+}  // namespace ssbft

@@ -1,0 +1,155 @@
+// Tests for the one-shot Byzantine agreement substrate: Phase-King
+// (f < n/3), Phase-Queen (f < n/4) and the Turpin-Coan multivalued
+// reduction — validity and agreement over the real engine with rushing
+// adversaries.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "adversary/adversaries.h"
+#include "agreement/phase_king.h"
+#include "agreement/phase_queen.h"
+#include "agreement/turpin_coan.h"
+#include "helpers.h"
+#include "sim/engine.h"
+
+namespace ssbft {
+namespace {
+
+using testing::OneShotBaProtocol;
+
+// Runs one BA instance to completion; returns the correct nodes' outputs.
+std::vector<std::uint64_t> run_ba(
+    const BaSpec& spec, std::uint32_t n, std::uint32_t f,
+    const std::vector<std::uint64_t>& inputs, std::uint64_t seed,
+    std::unique_ptr<Adversary> adversary) {
+  EngineConfig cfg;
+  cfg.n = n;
+  cfg.f = f;
+  cfg.faulty = EngineConfig::last_ids_faulty(n, f);
+  cfg.seed = seed;
+  cfg.faults.randomize_genesis = false;  // one-shot BA is not the SS layer
+  auto factory = [&](const ProtocolEnv& env, Rng rng) {
+    return std::make_unique<OneShotBaProtocol>(env, spec, inputs[env.self],
+                                               rng);
+  };
+  Engine eng(cfg, factory, std::move(adversary));
+  const int rounds = spec.rounds_for(f);
+  eng.run_beats(static_cast<std::uint64_t>(rounds));
+  std::vector<std::uint64_t> outs;
+  for (NodeId id : eng.correct_ids()) {
+    const auto& p = dynamic_cast<const OneShotBaProtocol&>(eng.node(id));
+    EXPECT_TRUE(p.done());
+    outs.push_back(p.output());
+  }
+  return outs;
+}
+
+struct BaCase {
+  std::string name;
+  std::uint32_t n;
+  std::uint32_t f;
+};
+
+BaSpec spec_by_name(const std::string& name) {
+  if (name == "king") return phase_king_spec();
+  if (name == "queen") return phase_queen_spec();
+  if (name == "tc_king") return turpin_coan_spec(phase_king_spec());
+  return turpin_coan_spec(phase_queen_spec());
+}
+
+class BaValidityTest : public ::testing::TestWithParam<BaCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BaValidityTest,
+    ::testing::Values(BaCase{"king", 4, 1}, BaCase{"king", 7, 2},
+                      BaCase{"king", 10, 3}, BaCase{"queen", 5, 1},
+                      BaCase{"queen", 9, 2}, BaCase{"tc_king", 4, 1},
+                      BaCase{"tc_king", 7, 2}, BaCase{"tc_queen", 5, 1},
+                      BaCase{"tc_queen", 9, 2}),
+    [](const auto& info) {
+      return info.param.name + "_n" + std::to_string(info.param.n) + "_f" +
+             std::to_string(info.param.f);
+    });
+
+TEST_P(BaValidityTest, UnanimousInputIsDecided) {
+  const auto& p = GetParam();
+  const BaSpec spec = spec_by_name(p.name);
+  const bool multivalued = p.name.rfind("tc_", 0) == 0;
+  for (std::uint64_t v : std::vector<std::uint64_t>{0, 1, multivalued ? 42u : 1u}) {
+    std::vector<std::uint64_t> inputs(p.n, v);
+    auto outs = run_ba(spec, p.n, p.f, inputs, 100 + v,
+                       p.f > 0 ? make_random_noise_adversary(8, 32) : nullptr);
+    for (auto o : outs) EXPECT_EQ(o, v);
+  }
+}
+
+TEST_P(BaValidityTest, AgreementUnderMixedInputsAndNoise) {
+  const auto& p = GetParam();
+  const BaSpec spec = spec_by_name(p.name);
+  Rng rng(77);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<std::uint64_t> inputs(p.n);
+    for (auto& v : inputs) {
+      v = p.name.rfind("tc_", 0) == 0 ? rng.next_below(5) : rng.next_below(2);
+    }
+    auto outs = run_ba(spec, p.n, p.f, inputs,
+                       1000 + static_cast<std::uint64_t>(trial),
+                       p.f > 0 ? make_random_noise_adversary(8, 32) : nullptr);
+    std::set<std::uint64_t> distinct(outs.begin(), outs.end());
+    EXPECT_EQ(distinct.size(), 1u) << p.name << " trial " << trial;
+  }
+}
+
+TEST(PhaseKing, AgreementUnderSplitAdversary) {
+  // Equivocating 0/1 on the first universal-exchange channel.
+  ByteWriter a, b;
+  a.u8(0);
+  b.u8(1);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    std::vector<std::uint64_t> inputs = {0, 1, 0, 1, 1, 0, 1};
+    auto outs = run_ba(phase_king_spec(), 7, 2, inputs, 2000 + seed,
+                       make_split_value_adversary(0, a.data(), b.data()));
+    std::set<std::uint64_t> distinct(outs.begin(), outs.end());
+    EXPECT_EQ(distinct.size(), 1u);
+    EXPECT_LE(*distinct.begin(), 1u);
+  }
+}
+
+TEST(PhaseQueen, AgreementAtExactResiliencyBound) {
+  // n = 4f + 1 is the tightest legal configuration.
+  std::vector<std::uint64_t> inputs = {1, 0, 1, 0, 1};
+  auto outs = run_ba(phase_queen_spec(), 5, 1, inputs, 3000,
+                     make_random_noise_adversary(8, 32));
+  std::set<std::uint64_t> distinct(outs.begin(), outs.end());
+  EXPECT_EQ(distinct.size(), 1u);
+}
+
+TEST(TurpinCoan, MultivaluedValidityWithLargeValues) {
+  std::vector<std::uint64_t> inputs(7, 0xdeadbeefcafeULL);
+  auto outs = run_ba(turpin_coan_spec(phase_king_spec()), 7, 2, inputs, 4000,
+                     make_random_noise_adversary(8, 32));
+  for (auto o : outs) EXPECT_EQ(o, 0xdeadbeefcafeULL);
+}
+
+TEST(TurpinCoan, NoQuorumFallsBackToDefault) {
+  // All-distinct inputs: no value can win; every correct node must output
+  // the same (default or adopted) value — agreement is what matters.
+  std::vector<std::uint64_t> inputs = {10, 20, 30, 40, 50, 60, 70};
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto outs = run_ba(turpin_coan_spec(phase_king_spec()), 7, 2, inputs,
+                       5000 + seed, make_random_noise_adversary(8, 32));
+    std::set<std::uint64_t> distinct(outs.begin(), outs.end());
+    EXPECT_EQ(distinct.size(), 1u);
+  }
+}
+
+TEST(BaSpec, RoundBudgets) {
+  EXPECT_EQ(phase_king_spec().rounds_for(2), 9);
+  EXPECT_EQ(phase_queen_spec().rounds_for(2), 6);
+  EXPECT_EQ(turpin_coan_spec(phase_king_spec()).rounds_for(2), 11);
+  EXPECT_EQ(turpin_coan_spec(phase_queen_spec()).rounds_for(1), 6);
+}
+
+}  // namespace
+}  // namespace ssbft

@@ -1,0 +1,163 @@
+// Tests for ss-Byz-4-Clock (Figure 3, Theorem 3) in both coin-pipeline
+// modes (Remark 4.1).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "adversary/adversaries.h"
+#include "coin/fm_coin.h"
+#include "coin/oracle_coin.h"
+#include "core/clock4.h"
+#include "harness/convergence.h"
+#include "harness/runner.h"
+
+namespace ssbft {
+namespace {
+
+struct Clock4Param {
+  std::uint32_t n;
+  std::uint32_t f;
+  CoinPipelineMode mode;
+};
+
+EngineBundle build_clock4(const Clock4Param& p, std::uint64_t seed) {
+  auto beacon = std::make_shared<OracleBeacon>(
+      p.n, OracleCoinParams{0.45, 0.45}, Rng(seed).split("beacon"));
+  CoinSpec spec = oracle_coin_spec(beacon);
+  EngineConfig cfg;
+  cfg.n = p.n;
+  cfg.f = p.f;
+  cfg.faulty = EngineConfig::last_ids_faulty(p.n, p.f);
+  cfg.seed = seed;
+  std::unique_ptr<Adversary> adv;
+  if (p.f > 0) {
+    ByteWriter a, b;
+    a.u8(0);
+    b.u8(1);
+    adv = make_split_value_adversary(0, std::move(a).take(),
+                                     std::move(b).take());
+  }
+  auto factory = [spec, mode = p.mode](const ProtocolEnv& env, Rng rng) {
+    return std::make_unique<SsByz4Clock>(env, spec, 0, rng, mode);
+  };
+  EngineBundle bundle;
+  bundle.engine = std::make_unique<Engine>(cfg, factory, std::move(adv));
+  bundle.engine->add_listener(beacon.get());
+  bundle.keepalive = beacon;
+  return bundle;
+}
+
+class Clock4Test : public ::testing::TestWithParam<Clock4Param> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Clock4Test,
+    ::testing::Values(
+        Clock4Param{4, 1, CoinPipelineMode::kPerSubClock},
+        Clock4Param{4, 1, CoinPipelineMode::kShared},
+        Clock4Param{7, 2, CoinPipelineMode::kPerSubClock},
+        Clock4Param{7, 2, CoinPipelineMode::kShared},
+        Clock4Param{10, 3, CoinPipelineMode::kPerSubClock},
+        Clock4Param{4, 0, CoinPipelineMode::kPerSubClock}));
+
+TEST_P(Clock4Test, ConvergesAndCyclesThroughFourValues) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    auto bundle = build_clock4(GetParam(), seed * 211);
+    ConvergenceConfig cc;
+    cc.max_beats = 4000;
+    cc.confirm_window = 16;
+    const auto res = measure_convergence(*bundle.engine, cc);
+    ASSERT_TRUE(res.converged) << "seed " << seed;
+    // Theorem 3's pattern: the public clock walks 0,1,2,3,0,...
+    auto prev = bundle.engine->correct_clocks().front();
+    std::set<ClockValue> visited;
+    for (int i = 0; i < 32; ++i) {
+      bundle.engine->run_beat();
+      ASSERT_TRUE(clocks_agree(*bundle.engine));
+      const auto cur = bundle.engine->correct_clocks().front();
+      EXPECT_EQ(cur, (prev + 1) % 4);
+      visited.insert(cur);
+      prev = cur;
+    }
+    EXPECT_EQ(visited.size(), 4u);
+  }
+}
+
+TEST(Clock4, SubClockPatternMatchesTheorem3) {
+  // Once synced, (clock(A1), clock(A2)) must cycle through the proof's
+  // pattern: A1 alternates every beat, A2 every other beat.
+  auto bundle = build_clock4({4, 1, CoinPipelineMode::kPerSubClock}, 5);
+  ConvergenceConfig cc;
+  cc.max_beats = 4000;
+  ASSERT_TRUE(measure_convergence(*bundle.engine, cc).converged);
+  const auto& proto =
+      dynamic_cast<const SsByz4Clock&>(bundle.engine->node(0));
+  auto a1_prev = proto.a1().clock();
+  int a2_flips = 0;
+  auto a2_prev = proto.a2().clock();
+  for (int i = 0; i < 16; ++i) {
+    bundle.engine->run_beat();
+    EXPECT_NE(proto.a1().clock(), a1_prev);  // A1 alternates every beat
+    a1_prev = proto.a1().clock();
+    if (proto.a2().clock() != a2_prev) ++a2_flips;
+    a2_prev = proto.a2().clock();
+  }
+  EXPECT_EQ(a2_flips, 8);  // A2 flips exactly every other beat
+}
+
+TEST(Clock4, SharedPipelineUsesFewerCoinChannels) {
+  CoinSpec fm = fm_coin_spec();
+  EXPECT_EQ(SsByz4Clock::channels_needed(fm, CoinPipelineMode::kPerSubClock),
+            10u);
+  EXPECT_EQ(SsByz4Clock::channels_needed(fm, CoinPipelineMode::kShared), 6u);
+}
+
+TEST(Clock4, SharedPipelineSendsLessCoinTraffic) {
+  // Remark 4.1: one pipeline instead of two must cut messages per beat.
+  auto traffic = [](CoinPipelineMode mode) {
+    EngineConfig cfg;
+    cfg.n = 4;
+    cfg.f = 1;
+    cfg.faulty = {3};
+    cfg.seed = 7;
+    CoinSpec spec = fm_coin_spec();
+    auto factory = [spec, mode](const ProtocolEnv& env, Rng rng) {
+      return std::make_unique<SsByz4Clock>(env, spec, 0, rng, mode);
+    };
+    Engine eng(cfg, factory, make_silent_adversary());
+    eng.run_beats(40);
+    return eng.metrics().mean_correct_messages_per_beat();
+  };
+  EXPECT_LT(traffic(CoinPipelineMode::kShared),
+            traffic(CoinPipelineMode::kPerSubClock));
+}
+
+TEST(Clock4, ReconvergesAfterMidRunCorruption) {
+  auto bundle = build_clock4({7, 2, CoinPipelineMode::kPerSubClock}, 11);
+  ConvergenceConfig cc;
+  cc.max_beats = 4000;
+  ASSERT_TRUE(measure_convergence(*bundle.engine, cc).converged);
+  bundle.engine->corrupt_node(0);
+  bundle.engine->corrupt_node(2);
+  EXPECT_TRUE(measure_convergence(*bundle.engine, cc).converged);
+}
+
+TEST(Clock4, FullStackWithFmCoin) {
+  EngineConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+  cfg.faulty = {3};
+  cfg.seed = 13;
+  CoinSpec spec = fm_coin_spec();
+  auto factory = [spec](const ProtocolEnv& env, Rng rng) {
+    return std::make_unique<SsByz4Clock>(env, spec, 0, rng,
+                                         CoinPipelineMode::kShared);
+  };
+  Engine eng(cfg, factory, make_random_noise_adversary(6, 48));
+  ConvergenceConfig cc;
+  cc.max_beats = 2500;
+  EXPECT_TRUE(measure_convergence(eng, cc).converged);
+}
+
+}  // namespace
+}  // namespace ssbft

@@ -1,0 +1,208 @@
+// Tests for prime-field arithmetic, primality, polynomials and
+// interpolation — the algebra underneath the GVSS coin.
+#include <gtest/gtest.h>
+
+#include "field/fp.h"
+#include "field/poly.h"
+#include "field/primes.h"
+#include "support/check.h"
+
+namespace ssbft {
+namespace {
+
+TEST(Primes, KnownSmallValues) {
+  EXPECT_FALSE(is_prime_u64(0));
+  EXPECT_FALSE(is_prime_u64(1));
+  EXPECT_TRUE(is_prime_u64(2));
+  EXPECT_TRUE(is_prime_u64(3));
+  EXPECT_FALSE(is_prime_u64(4));
+  EXPECT_TRUE(is_prime_u64(5));
+  EXPECT_FALSE(is_prime_u64(1001));  // 7 * 11 * 13
+  EXPECT_TRUE(is_prime_u64(1009));
+}
+
+TEST(Primes, CarmichaelNumbersRejected) {
+  // Carmichael numbers fool Fermat tests; Miller-Rabin must not be fooled.
+  for (std::uint64_t c : {561ULL, 1105ULL, 1729ULL, 2465ULL, 294409ULL}) {
+    EXPECT_FALSE(is_prime_u64(c)) << c;
+  }
+}
+
+TEST(Primes, LargeKnownValues) {
+  EXPECT_TRUE(is_prime_u64(2305843009213693951ULL));   // 2^61 - 1 (Mersenne)
+  EXPECT_FALSE(is_prime_u64(2305843009213693953ULL));  // 2^61 + 1 = 3*715827883*...
+  EXPECT_TRUE(is_prime_u64(18446744073709551557ULL));  // largest 64-bit prime
+}
+
+TEST(Primes, SmallestPrimeAbove) {
+  EXPECT_EQ(smallest_prime_above(0), 2u);
+  EXPECT_EQ(smallest_prime_above(2), 3u);
+  EXPECT_EQ(smallest_prime_above(3), 5u);
+  EXPECT_EQ(smallest_prime_above(10), 11u);
+  EXPECT_EQ(smallest_prime_above(13), 17u);
+  EXPECT_EQ(smallest_prime_above(100), 101u);
+}
+
+TEST(Primes, SmallestPrimeAboveIsCanonicalForNodeCounts) {
+  // Remark 2.3: every node must derive the same field from n alone.
+  for (std::uint64_t n = 4; n < 200; ++n) {
+    const std::uint64_t p = smallest_prime_above(n);
+    EXPECT_GT(p, n);
+    EXPECT_TRUE(is_prime_u64(p));
+    for (std::uint64_t q = n + 1; q < p; ++q) EXPECT_FALSE(is_prime_u64(q));
+  }
+}
+
+TEST(PrimeField, RejectsComposite) {
+  EXPECT_THROW(PrimeField(10), contract_error);
+  EXPECT_THROW(PrimeField(1), contract_error);
+}
+
+class FieldLawsTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Moduli, FieldLawsTest,
+                         ::testing::Values(5ULL, 101ULL, 65537ULL,
+                                           2305843009213693951ULL));
+
+TEST_P(FieldLawsTest, RingAxiomsOnRandomElements) {
+  PrimeField F(GetParam());
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const auto a = F.uniform(rng), b = F.uniform(rng), c = F.uniform(rng);
+    EXPECT_EQ(F.add(a, b), F.add(b, a));
+    EXPECT_EQ(F.mul(a, b), F.mul(b, a));
+    EXPECT_EQ(F.add(F.add(a, b), c), F.add(a, F.add(b, c)));
+    EXPECT_EQ(F.mul(F.mul(a, b), c), F.mul(a, F.mul(b, c)));
+    EXPECT_EQ(F.mul(a, F.add(b, c)), F.add(F.mul(a, b), F.mul(a, c)));
+    EXPECT_EQ(F.add(a, F.neg(a)), 0u);
+    EXPECT_EQ(F.sub(a, b), F.add(a, F.neg(b)));
+  }
+}
+
+TEST_P(FieldLawsTest, InverseIsTotalOnNonzero) {
+  PrimeField F(GetParam());
+  Rng rng(GetParam() + 1);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = F.uniform_nonzero(rng);
+    EXPECT_EQ(F.mul(a, F.inv(a)), 1u);
+  }
+  EXPECT_THROW(F.inv(0), contract_error);
+}
+
+TEST_P(FieldLawsTest, PowMatchesRepeatedMultiplication) {
+  PrimeField F(GetParam());
+  Rng rng(GetParam() + 2);
+  const auto a = F.uniform(rng);
+  std::uint64_t acc = 1 % F.modulus();
+  for (std::uint64_t e = 0; e < 20; ++e) {
+    EXPECT_EQ(F.pow(a, e), acc);
+    acc = F.mul(acc, a);
+  }
+}
+
+TEST_P(FieldLawsTest, FermatLittleTheorem) {
+  PrimeField F(GetParam());
+  Rng rng(GetParam() + 3);
+  for (int i = 0; i < 20; ++i) {
+    const auto a = F.uniform_nonzero(rng);
+    EXPECT_EQ(F.pow(a, F.modulus() - 1), 1u);
+  }
+}
+
+TEST(PrimeField, UniformStaysInRange) {
+  PrimeField F(101);
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(F.uniform(rng), 101u);
+    EXPECT_NE(F.uniform_nonzero(rng), 0u);
+  }
+}
+
+TEST(Poly, DegreeAndNormalization) {
+  EXPECT_EQ(Poly().degree(), -1);
+  EXPECT_EQ(Poly({0, 0, 0}).degree(), -1);  // trailing zeros drop
+  EXPECT_EQ(Poly({5}).degree(), 0);
+  EXPECT_EQ(Poly({1, 2, 0, 0}).degree(), 1);
+}
+
+TEST(Poly, HornerEvaluation) {
+  PrimeField F(101);
+  Poly p({3, 2, 1});  // 3 + 2x + x^2
+  EXPECT_EQ(p.eval(F, 0), 3u);
+  EXPECT_EQ(p.eval(F, 1), 6u);
+  EXPECT_EQ(p.eval(F, 10), (3 + 20 + 100) % 101);
+}
+
+TEST(Poly, ArithmeticConsistentWithEvaluation) {
+  PrimeField F(65537);
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    Poly a = Poly::random(F, 4, rng);
+    Poly b = Poly::random(F, 3, rng);
+    const auto x = F.uniform(rng);
+    EXPECT_EQ(a.add(F, b).eval(F, x), F.add(a.eval(F, x), b.eval(F, x)));
+    EXPECT_EQ(a.sub(F, b).eval(F, x), F.sub(a.eval(F, x), b.eval(F, x)));
+    EXPECT_EQ(a.mul(F, b).eval(F, x), F.mul(a.eval(F, x), b.eval(F, x)));
+    EXPECT_EQ(a.scale(F, 7).eval(F, x), F.mul(a.eval(F, x), 7));
+  }
+}
+
+TEST(Poly, DivmodRoundTrip) {
+  PrimeField F(65537);
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    Poly a = Poly::random(F, 6, rng);
+    Poly d = Poly::random(F, 2, rng);
+    if (d.is_zero()) continue;
+    auto [q, r] = a.divmod(F, d);
+    EXPECT_LT(r.degree(), d.degree());
+    EXPECT_EQ(q.mul(F, d).add(F, r), a);
+  }
+}
+
+TEST(Poly, DivisionByZeroRejected) {
+  PrimeField F(101);
+  EXPECT_THROW(Poly({1, 2}).divmod(F, Poly()), contract_error);
+}
+
+TEST(Poly, RandomWithConstantPinsSecret) {
+  PrimeField F(101);
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    Poly p = Poly::random_with_constant(F, 3, 42, rng);
+    EXPECT_EQ(p.eval(F, 0), 42u);
+    EXPECT_LE(p.degree(), 3);
+  }
+}
+
+TEST(Interpolation, RecoversOriginalPolynomial) {
+  PrimeField F(2305843009213693951ULL);
+  Rng rng(8);
+  for (int deg = 0; deg <= 6; ++deg) {
+    Poly p = Poly::random(F, deg, rng);
+    std::vector<std::uint64_t> xs, ys;
+    for (std::uint64_t x = 1; x <= static_cast<std::uint64_t>(deg) + 1; ++x) {
+      xs.push_back(x);
+      ys.push_back(p.eval(F, x));
+    }
+    EXPECT_EQ(lagrange_interpolate(F, xs, ys), p) << "deg=" << deg;
+  }
+}
+
+TEST(Interpolation, ExactDegreeBound) {
+  PrimeField F(101);
+  // 3 points -> degree <= 2 polynomial through them.
+  Poly p = lagrange_interpolate(F, {1, 2, 3}, {10, 20, 40});
+  EXPECT_LE(p.degree(), 2);
+  EXPECT_EQ(p.eval(F, 1), 10u);
+  EXPECT_EQ(p.eval(F, 2), 20u);
+  EXPECT_EQ(p.eval(F, 3), 40u);
+}
+
+TEST(Interpolation, DuplicateNodesRejected) {
+  PrimeField F(101);
+  EXPECT_THROW(lagrange_interpolate(F, {1, 1}, {2, 3}), contract_error);
+}
+
+}  // namespace
+}  // namespace ssbft

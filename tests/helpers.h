@@ -1,0 +1,89 @@
+// Shared test scaffolding: small top-level Protocol wrappers that host
+// sub-components (coins, one-shot BA instances) on the engine, plus
+// engine-building conveniences.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "agreement/ba_interface.h"
+#include "coin/coin_interface.h"
+#include "sim/engine.h"
+
+namespace ssbft::testing {
+
+// Hosts a CoinComponent as a top-level protocol and records its bit stream.
+class CoinHostProtocol final : public Protocol {
+ public:
+  CoinHostProtocol(const ProtocolEnv& env, const CoinSpec& spec, Rng rng)
+      : channels_(spec.channels == 0 ? 1 : spec.channels),
+        coin_(spec.make(env, 0, rng)) {}
+
+  void send_phase(Outbox& out) override { coin_->send_phase(out); }
+  void receive_phase(const Inbox& in) override {
+    bits_.push_back(coin_->receive_phase(in));
+  }
+  void randomize_state(Rng& rng) override { coin_->randomize_state(rng); }
+  std::uint32_t channel_count() const override { return channels_; }
+
+  const std::vector<bool>& bits() const { return bits_; }
+
+ private:
+  std::uint32_t channels_;
+  std::unique_ptr<CoinComponent> coin_;
+  std::vector<bool> bits_;
+};
+
+// Hosts one BA instance: runs its rounds once, then idles holding the
+// output.
+class OneShotBaProtocol final : public Protocol {
+ public:
+  OneShotBaProtocol(const ProtocolEnv& env, const BaSpec& spec,
+                    std::uint64_t input, Rng rng)
+      : rounds_(spec.rounds_for(env.f)),
+        instance_(spec.make(env, input, rng)) {}
+
+  void send_phase(Outbox& out) override {
+    if (next_round_ <= rounds_) instance_->send_round(next_round_, out, 0);
+  }
+  void receive_phase(const Inbox& in) override {
+    if (next_round_ <= rounds_) {
+      instance_->receive_round(next_round_, in, 0);
+      ++next_round_;
+    }
+  }
+  void randomize_state(Rng& rng) override { instance_->randomize_state(rng); }
+  std::uint32_t channel_count() const override {
+    return static_cast<std::uint32_t>(rounds_);
+  }
+
+  bool done() const { return next_round_ > rounds_; }
+  std::uint64_t output() const { return instance_->output(); }
+
+ private:
+  int rounds_;
+  int next_round_ = 1;
+  std::unique_ptr<BaInstance> instance_;
+};
+
+// Fraction of positions where all correct hosts reported the same bit.
+inline double common_bit_fraction(const Engine& engine,
+                                  std::size_t skip_warmup) {
+  std::vector<const CoinHostProtocol*> hosts;
+  for (NodeId id : engine.correct_ids()) {
+    hosts.push_back(dynamic_cast<const CoinHostProtocol*>(&engine.node(id)));
+  }
+  if (hosts.empty() || hosts[0]->bits().size() <= skip_warmup) return 0.0;
+  std::size_t common = 0, total = 0;
+  for (std::size_t i = skip_warmup; i < hosts[0]->bits().size(); ++i) {
+    bool all_same = true;
+    for (const auto* h : hosts) {
+      if (h->bits()[i] != hosts[0]->bits()[i]) all_same = false;
+    }
+    ++total;
+    if (all_same) ++common;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(common) / static_cast<double>(total);
+}
+
+}  // namespace ssbft::testing

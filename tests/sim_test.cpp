@@ -1,0 +1,282 @@
+// Tests for the lock-step engine: delivery semantics, adversary contract,
+// fault injection, metrics, and determinism.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "adversary/adversaries.h"
+#include "sim/engine.h"
+#include "support/check.h"
+
+namespace ssbft {
+namespace {
+
+// Broadcasts its id each beat and records exactly what it receives.
+class EchoProtocol final : public ClockProtocol {
+ public:
+  explicit EchoProtocol(const ProtocolEnv& env) : env_(env) {}
+
+  void send_phase(Outbox& out) override {
+    ByteWriter w;
+    w.u32(env_.self);
+    w.u64(state_);
+    out.broadcast(0, w.data());
+  }
+
+  void receive_phase(const Inbox& in) override {
+    last_senders_.clear();
+    last_payload_count_ = 0;
+    for (const Bytes* p : in.first_per_sender(0)) {
+      if (p != nullptr) ++last_payload_count_;
+    }
+    for (const Message& m : in.on(0)) last_senders_.push_back(m.from);
+    phantom_bytes_seen_ = 0;
+    for (const Message& m : in.on(0)) {
+      ByteReader r(m.payload);
+      (void)r.u32();
+      (void)r.u64();
+      if (!r.at_end()) ++phantom_bytes_seen_;
+    }
+    ++state_;
+  }
+
+  void randomize_state(Rng& rng) override { state_ = rng.next_u64(); }
+  ClockValue clock() const override { return state_ % 4; }
+  ClockValue modulus() const override { return 4; }
+  std::uint32_t channel_count() const override { return 2; }
+
+  ProtocolEnv env_;
+  std::uint64_t state_ = 0;
+  std::vector<NodeId> last_senders_;
+  std::uint32_t last_payload_count_ = 0;
+  std::uint32_t phantom_bytes_seen_ = 0;
+};
+
+ProtocolFactory echo_factory() {
+  return [](const ProtocolEnv& env, Rng) {
+    return std::make_unique<EchoProtocol>(env);
+  };
+}
+
+EngineConfig basic_config(std::uint32_t n, std::uint32_t f_actual) {
+  EngineConfig cfg;
+  cfg.n = n;
+  cfg.f = f_actual;
+  cfg.faulty = EngineConfig::last_ids_faulty(n, f_actual);
+  cfg.faults.randomize_genesis = false;
+  return cfg;
+}
+
+TEST(Outbox, BroadcastReachesAllIncludingSelf) {
+  Outbox out(2, 5);
+  out.broadcast(1, {0xaa});
+  ASSERT_EQ(out.messages().size(), 5u);
+  for (NodeId to = 0; to < 5; ++to) {
+    EXPECT_EQ(out.messages()[to].to, to);
+    EXPECT_EQ(out.messages()[to].from, 2u);
+    EXPECT_EQ(out.messages()[to].channel, 1);
+  }
+}
+
+TEST(Outbox, SendTargetValidated) {
+  Outbox out(0, 3);
+  EXPECT_THROW(out.send(3, 0, {}), contract_error);
+}
+
+TEST(Inbox, RoutesByChannelAndDropsUnknown) {
+  Inbox in(4, 2);
+  in.deliver({0, 1, 0, {1}});
+  in.deliver({0, 1, 1, {2}});
+  in.deliver({0, 1, 7, {3}});  // out-of-range channel: dropped
+  EXPECT_EQ(in.on(0).size(), 1u);
+  EXPECT_EQ(in.on(1).size(), 1u);
+  EXPECT_TRUE(in.on(7).empty());
+}
+
+TEST(Inbox, FirstPerSenderDeduplicates) {
+  Inbox in(3, 1);
+  in.deliver({1, 0, 0, {0xaa}});
+  in.deliver({1, 0, 0, {0xbb}});  // duplicate flood from node 1
+  in.deliver({2, 0, 0, {0xcc}});
+  const auto per = in.first_per_sender(0);
+  ASSERT_EQ(per.size(), 3u);
+  EXPECT_EQ(per[0], nullptr);
+  ASSERT_NE(per[1], nullptr);
+  EXPECT_EQ((*per[1])[0], 0xaa);  // first wins, deterministically
+  ASSERT_NE(per[2], nullptr);
+  EXPECT_EQ((*per[2])[0], 0xcc);
+}
+
+TEST(Engine, AllCorrectMessagesDelivered) {
+  auto eng = Engine(basic_config(5, 0), echo_factory(), nullptr);
+  eng.run_beat();
+  for (NodeId id : eng.correct_ids()) {
+    const auto& p = dynamic_cast<const EchoProtocol&>(eng.node(id));
+    EXPECT_EQ(p.last_payload_count_, 5u);
+  }
+}
+
+TEST(Engine, FaultyNodesHostNoProtocol) {
+  auto eng = Engine(basic_config(4, 1), echo_factory(),
+                    make_silent_adversary());
+  EXPECT_EQ(eng.correct_ids().size(), 3u);
+  EXPECT_TRUE(eng.is_faulty(3));
+  EXPECT_THROW(eng.node(3), contract_error);
+}
+
+TEST(Engine, SilentAdversaryMeansFewerMessages) {
+  auto eng = Engine(basic_config(4, 1), echo_factory(),
+                    make_silent_adversary());
+  eng.run_beat();
+  for (NodeId id : eng.correct_ids()) {
+    const auto& p = dynamic_cast<const EchoProtocol&>(eng.node(id));
+    EXPECT_EQ(p.last_payload_count_, 3u);  // only the 3 correct senders
+  }
+}
+
+// An adversary that tries to forge a correct sender's identity.
+class ForgingAdversary final : public Adversary {
+ public:
+  void act(AdversaryContext& ctx) override {
+    ctx.send(/*from=*/0, /*to=*/1, 0, {0x99});  // node 0 is correct
+  }
+};
+
+TEST(Engine, SenderIdentityUnforgeable) {
+  auto eng = Engine(basic_config(4, 1), echo_factory(),
+                    std::make_unique<ForgingAdversary>());
+  EXPECT_THROW(eng.run_beat(), contract_error);
+}
+
+// Records what the adversary observes; sends one message per faulty node.
+class ObservingAdversary final : public Adversary {
+ public:
+  void act(AdversaryContext& ctx) override {
+    observed_per_beat.push_back(ctx.observed().size());
+    for (const Message& m : ctx.observed()) {
+      // Rushing view contains only messages addressed to faulty nodes.
+      bool to_faulty = false;
+      for (NodeId fid : ctx.faulty()) to_faulty |= (m.to == fid);
+      EXPECT_TRUE(to_faulty);
+    }
+    for (NodeId from : ctx.faulty()) ctx.broadcast(from, 0, {0x01});
+  }
+  std::vector<std::size_t> observed_per_beat;
+};
+
+TEST(Engine, AdversaryObservesExactlyTrafficToFaultyNodes) {
+  auto adv = std::make_unique<ObservingAdversary>();
+  auto* adv_raw = adv.get();
+  auto eng = Engine(basic_config(5, 2), echo_factory(), std::move(adv));
+  eng.run_beat();
+  // 3 correct nodes broadcast to everyone -> 3 messages to each of the 2
+  // faulty nodes.
+  ASSERT_EQ(adv_raw->observed_per_beat.size(), 1u);
+  EXPECT_EQ(adv_raw->observed_per_beat[0], 6u);
+}
+
+TEST(Engine, AdversaryMessagesAreDelivered) {
+  auto eng = Engine(basic_config(4, 1), echo_factory(),
+                    std::make_unique<ObservingAdversary>());
+  eng.run_beat();
+  const auto& p = dynamic_cast<const EchoProtocol&>(eng.node(0));
+  EXPECT_EQ(p.last_payload_count_, 4u);  // 3 correct + 1 adversary
+}
+
+TEST(Engine, ScheduledCorruptionFires) {
+  EngineConfig cfg = basic_config(4, 0);
+  cfg.faults.corruptions[2] = {1};
+  auto eng = Engine(cfg, echo_factory(), nullptr);
+  eng.run_beats(2);
+  const auto before = dynamic_cast<const EchoProtocol&>(eng.node(1)).state_;
+  EXPECT_EQ(before, 2u);  // incremented once per beat from 0
+  eng.run_beat();         // corruption fires at the start of beat 2
+  const auto after = dynamic_cast<const EchoProtocol&>(eng.node(1)).state_;
+  EXPECT_NE(after, 3u);  // overwhelmingly likely: random u64 + 1 != 3
+}
+
+TEST(Engine, GenesisRandomizationDesynchronizesState) {
+  EngineConfig cfg = basic_config(4, 0);
+  cfg.faults.randomize_genesis = true;
+  auto eng = Engine(cfg, echo_factory(), nullptr);
+  std::set<std::uint64_t> states;
+  for (NodeId id : eng.correct_ids()) {
+    states.insert(dynamic_cast<const EchoProtocol&>(eng.node(id)).state_);
+  }
+  EXPECT_GT(states.size(), 1u);
+}
+
+TEST(Engine, PhantomMessagesOnlyDuringFaultyPrefix) {
+  EngineConfig cfg = basic_config(4, 0);
+  cfg.faults.network_faulty_until = 3;
+  cfg.faults.phantoms_per_beat = 5;
+  auto eng = Engine(cfg, echo_factory(), nullptr);
+  eng.run_beats(3);
+  const auto during = eng.metrics().total().phantom_messages;
+  EXPECT_EQ(during, 3u * 4u * 5u);
+  eng.run_beats(3);
+  EXPECT_EQ(eng.metrics().total().phantom_messages, during);  // no new ones
+}
+
+TEST(Engine, FaultyNetworkCanDropMessages) {
+  EngineConfig cfg = basic_config(6, 0);
+  cfg.faults.network_faulty_until = 1;
+  cfg.faults.faulty_drop_prob = 1.0;  // drop everything in beat 0
+  auto eng = Engine(cfg, echo_factory(), nullptr);
+  eng.run_beat();
+  for (NodeId id : eng.correct_ids()) {
+    EXPECT_EQ(dynamic_cast<const EchoProtocol&>(eng.node(id)).last_payload_count_, 0u);
+  }
+  eng.run_beat();  // network healthy again
+  for (NodeId id : eng.correct_ids()) {
+    EXPECT_EQ(dynamic_cast<const EchoProtocol&>(eng.node(id)).last_payload_count_, 6u);
+  }
+}
+
+TEST(Engine, MetricsCountTraffic) {
+  auto eng = Engine(basic_config(3, 0), echo_factory(), nullptr);
+  eng.run_beats(4);
+  // 3 nodes broadcast (3 msgs each of 12 bytes) per beat.
+  EXPECT_EQ(eng.metrics().total().correct_messages, 4u * 9u);
+  EXPECT_EQ(eng.metrics().total().correct_bytes, 4u * 9u * 12u);
+  EXPECT_DOUBLE_EQ(eng.metrics().mean_correct_messages_per_beat(), 9.0);
+  EXPECT_EQ(eng.metrics().history().size(), 4u);
+}
+
+TEST(Engine, DeterministicReplay) {
+  EngineConfig cfg = basic_config(5, 1);
+  cfg.seed = 77;
+  cfg.faults.randomize_genesis = true;
+  cfg.faults.network_faulty_until = 2;
+  cfg.faults.phantoms_per_beat = 3;
+  auto run = [&] {
+    auto eng = Engine(cfg, echo_factory(),
+                      make_random_noise_adversary(4, 16));
+    eng.run_beats(10);
+    std::vector<std::uint64_t> states;
+    for (NodeId id : eng.correct_ids()) {
+      states.push_back(dynamic_cast<const EchoProtocol&>(eng.node(id)).state_);
+    }
+    states.push_back(eng.metrics().total().adversary_messages);
+    return states;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Engine, CorrectClocksExposed) {
+  auto eng = Engine(basic_config(4, 1), echo_factory(),
+                    make_silent_adversary());
+  eng.run_beats(3);
+  const auto clocks = eng.correct_clocks();
+  ASSERT_EQ(clocks.size(), 3u);
+  for (auto c : clocks) EXPECT_EQ(c, 3u % 4u);
+}
+
+TEST(EngineConfig, LastIdsFaultyShape) {
+  const auto ids = EngineConfig::last_ids_faulty(7, 2);
+  EXPECT_EQ(ids, (std::vector<NodeId>{5, 6}));
+  EXPECT_TRUE(EngineConfig::last_ids_faulty(4, 0).empty());
+}
+
+}  // namespace
+}  // namespace ssbft

@@ -1,0 +1,222 @@
+// Unit tests for the support layer: deterministic RNG and the
+// failure-tolerant byte codec (the first line of defense against
+// Byzantine payloads).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/bytes.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace ssbft {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitStability) {
+  // Splits derive from the origin seed, not generator position: drawing
+  // before splitting must not change the split stream.
+  Rng a(7), b(7);
+  (void)a.next_u64();
+  (void)a.next_u64();
+  Rng sa = a.split("stream");
+  Rng sb = b.split("stream");
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(sa.next_u64(), sb.next_u64());
+}
+
+TEST(Rng, SplitIndependenceAcrossLabels) {
+  Rng root(7);
+  Rng a = root.split("alpha");
+  Rng b = root.split("beta");
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, IndexedSplitsDiffer) {
+  Rng root(9);
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    firsts.insert(root.split("node", i).next_u64());
+  }
+  EXPECT_EQ(firsts.size(), 50u);
+}
+
+TEST(Rng, NextBelowIsInRangeAndCoversValues) {
+  Rng r(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = r.next_below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextBelowOneIsZero) {
+  Rng r(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowZeroIsContractError) {
+  Rng r(3);
+  EXPECT_THROW(r.next_below(0), contract_error);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = r.next_in(10, 12);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 12u);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(r.next_bernoulli(0.0));
+    EXPECT_TRUE(r.next_bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng r(11);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (r.next_bernoulli(0.3)) ++hits;
+  }
+  const double p = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(p, 0.3, 0.02);
+}
+
+TEST(Rng, BoolRoughlyFair) {
+  Rng r(13);
+  int ones = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (r.next_bool()) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / trials, 0.5, 0.02);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Bytes, RoundTripAllTypes) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.u64_vec({1, 2, 3});
+  w.bytes({0x01, 0x02});
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.u64_vec(8), (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(r.bytes(8), (Bytes{0x01, 0x02}));
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, TruncatedReadLatchesFailure) {
+  ByteWriter w;
+  w.u8(1);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 1);
+  EXPECT_EQ(r.u64(), 0u);  // past end
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.at_end());
+  // Subsequent reads stay failed, never throw.
+  EXPECT_EQ(r.u32(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, HostileLengthPrefixRejected) {
+  // A length prefix claiming 2^31 elements must not allocate.
+  ByteWriter w;
+  w.u32(0x80000000u);
+  ByteReader r(w.data());
+  const auto v = r.u64_vec(1024);
+  EXPECT_TRUE(v.empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, LengthBeyondCapRejected) {
+  ByteWriter w;
+  w.u64_vec({1, 2, 3, 4});
+  ByteReader r(w.data());
+  const auto v = r.u64_vec(3);  // cap below actual length
+  EXPECT_TRUE(v.empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, LengthLongerThanBufferRejected) {
+  ByteWriter w;
+  w.u32(5);  // claims 5 u64s but provides none
+  ByteReader r(w.data());
+  const auto v = r.u64_vec(16);
+  EXPECT_TRUE(v.empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, EmptyVectorRoundTrip) {
+  ByteWriter w;
+  w.u64_vec({});
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.u64_vec(4).empty());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, AtEndRequiresFullConsumption) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.at_end());  // one byte left over: trailing garbage
+}
+
+TEST(Bytes, HexFormatting) {
+  EXPECT_EQ(to_hex({0x00, 0xff, 0x1a}), "00ff1a");
+  EXPECT_EQ(to_hex({}), "");
+}
+
+TEST(Check, MacrosThrowContractErrors) {
+  EXPECT_THROW(SSBFT_CHECK(false), contract_error);
+  EXPECT_THROW(SSBFT_REQUIRE(1 == 2), contract_error);
+  EXPECT_NO_THROW(SSBFT_CHECK(true));
+  try {
+    SSBFT_REQUIRE_MSG(false, "ctx " << 42);
+    FAIL() << "should have thrown";
+  } catch (const contract_error& e) {
+    EXPECT_NE(std::string(e.what()).find("ctx 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ssbft
