@@ -17,7 +17,7 @@ EngineBuilder build_clock_sync_mode(World w, CoinPipelineMode mode) {
   return [w, mode](std::uint64_t seed) {
     EngineBundle b;
     CoinSpec spec = fm_coin_spec();
-    auto adv = make_attack(w.attack, w.k, nullptr, 0);
+    auto adv = make_attack(w.attack, w.k, 0);
     auto factory = [spec, k = w.k, mode](const ProtocolEnv& env, Rng rng) {
       return std::make_unique<SsByzClockSync>(env, k, spec, rng, 0, mode);
     };
@@ -31,7 +31,7 @@ EngineBuilder build_clock4_mode(World w, CoinPipelineMode mode) {
   return [w, mode](std::uint64_t seed) {
     EngineBundle b;
     CoinSpec spec = fm_coin_spec();
-    auto adv = make_attack(w.attack, 4, nullptr, 0);
+    auto adv = make_attack(w.attack, 4, 0);
     auto factory = [spec, mode](const ProtocolEnv& env, Rng rng) {
       return std::make_unique<SsByz4Clock>(env, spec, 0, rng, mode);
     };
@@ -43,19 +43,15 @@ EngineBuilder build_clock4_mode(World w, CoinPipelineMode mode) {
 
 void report(const std::string& name, const EngineBuilder& builder,
             AsciiTable& t) {
-  RunnerConfig rc;
-  rc.trials = 12;
-  rc.base_seed = 70;
-  rc.convergence.max_beats = 6000;
-  auto s = run_trials(builder, rc);
+  auto s = run_trials(builder, runner_config(12, 70, 6000));
   t.add_row({name, fmt_double(s.mean, 1), fmt_double(s.p90, 0),
-             std::to_string(s.converged) + "/12",
-             fmt_double(s.mean_msgs_per_beat, 1)});
+             converged_cell(s), fmt_double(s.mean_msgs_per_beat, 1)});
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_cli(argc, argv);
   std::cout << "=== Remark 4.1 ablation: per-sub-clock vs shared coin "
                "pipeline (full FM coin, n = 4, f = 1, noise) ===\n\n";
   AsciiTable t({"configuration", "mean beats", "p90", "converged",

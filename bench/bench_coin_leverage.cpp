@@ -48,7 +48,7 @@ EngineBuilder build_dw_variant(World w, DwMode mode, bool adaptive) {
     std::unique_ptr<Adversary> adv;
     if (w.actual > 0) {
       adv = adaptive ? make_adaptive_quorum_splitter(w.k, 0)
-                     : make_attack(w.attack, w.k, beacon, 0);
+                     : make_attack(w.attack, w.k, 0);
     }
     b.engine = std::make_unique<Engine>(world_config(w, seed), factory,
                                         std::move(adv));
@@ -89,7 +89,8 @@ std::string cell(const TrialStats& s, std::uint64_t cap) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_cli(argc, argv);
   std::cout << "=== Coin leverage (Section 6.1): the same gamble, three "
                "coins (k = 8, split adversary) ===\n\n";
   AsciiTable t({"n", "f", "DW local coins", "DW + shared coin",
@@ -107,11 +108,7 @@ int main() {
 
     auto measure = [&](const EngineBuilder& b, std::uint64_t cap,
                        std::uint64_t trials) {
-      RunnerConfig rc;
-      rc.trials = trials;
-      rc.base_seed = 90 + n;
-      rc.convergence.max_beats = cap;
-      return run_trials(b, rc);
+      return run_trials(b, runner_config(trials, 90 + n, cap));
     };
     const std::uint64_t cap = 60000;
     auto local = measure(build_dw_variant(w, DwMode::kLocal, false), cap, 10);
@@ -139,16 +136,12 @@ int main() {
     w.f = f;
     w.actual = f;
     w.k = 8;
-    RunnerConfig rc;
-    rc.trials = 20;
-    rc.base_seed = 95 + n;
-    rc.convergence.max_beats = 20000;
+    RunnerConfig rc = runner_config(20, 95 + n, 20000);
     auto dw = run_trials(build_dw_variant(w, DwMode::kSharedOracle, true), rc);
     auto sync = run_trials(build_sync_adaptive(w), rc);
     t2.add_row({std::to_string(n), std::to_string(f),
-                cell(dw, 20000) + " [" + std::to_string(dw.converged) + "/20]",
-                cell(sync, 20000) + " [" + std::to_string(sync.converged) +
-                    "/20]"});
+                cell(dw, 20000) + " [" + converged_cell(dw) + "]",
+                cell(sync, 20000) + " [" + converged_cell(sync) + "]"});
   }
   t2.print(std::cout);
   std::cout << "\nthe splitter sustains a partition whenever a value's "

@@ -66,8 +66,7 @@ CoinStats measure(std::uint32_t n, std::uint32_t f, bool oracle,
   auto factory = [&spec](const ProtocolEnv& env, Rng rng) {
     return std::make_unique<CoinHost>(env, spec, rng);
   };
-  Engine eng(cfg, factory,
-             f == 0 ? nullptr : make_attack(attack, 2, beacon, 0));
+  Engine eng(cfg, factory, f == 0 ? nullptr : make_attack(attack, 2, 0));
   if (beacon) eng.add_listener(beacon.get());
   eng.run_beats(beats);
 
@@ -103,7 +102,12 @@ CoinStats measure(std::uint32_t n, std::uint32_t f, bool oracle,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_cli(argc, argv);
+  if (options().trials != 0 || options().jobs != 0) {
+    std::cerr << "note: this bench measures fixed single-engine bit streams; "
+                 "--trials/--jobs have no effect here (--seed applies)\n";
+  }
   std::cout << "=== Coin quality: ss-Byz-Coin-Flip over the FM-style GVSS "
                "coin (Theorem 1) ===\n"
             << "columns: commonality = measured p0+p1 (+accidental), split "
@@ -131,7 +135,8 @@ int main() {
   };
   for (const auto& r : rows) {
     const std::uint64_t beats = r.n >= 10 ? 300 : 800;
-    auto s = measure(r.n, r.f, r.oracle, r.attack, beats, 42 + r.n);
+    auto s =
+        measure(r.n, r.f, r.oracle, r.attack, beats, shifted_seed(42) + r.n);
     t.add_row({r.oracle ? "oracle(0.45/0.45)" : "fm-gvss",
                std::to_string(r.n), std::to_string(r.f), r.name,
                fmt_double(s.common, 3), fmt_double(s.p0, 3),

@@ -2,6 +2,8 @@
 // every algorithm family in Table 1, with a uniform adversary selection.
 #pragma once
 
+#include <cerrno>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -37,9 +39,8 @@ enum class Attack {
   kCoinAttack // FM-coin attacker on the given channel base (FM runs only)
 };
 
-inline std::unique_ptr<Adversary> make_attack(
-    Attack a, ClockValue k, std::shared_ptr<OracleBeacon> /*beacon*/,
-    ChannelId coin_base) {
+inline std::unique_ptr<Adversary> make_attack(Attack a, ClockValue k,
+                                              ChannelId coin_base) {
   switch (a) {
     case Attack::kSilent:
       return make_silent_adversary();
@@ -93,8 +94,8 @@ inline EngineBuilder build_clock_sync(World w) {
     }
     const auto coin_base = static_cast<ChannelId>(
         3 + SsByz4Clock::channels_needed(spec, CoinPipelineMode::kPerSubClock));
-    auto adv = w.actual == 0 ? nullptr
-                             : make_attack(w.attack, w.k, beacon, coin_base);
+    auto adv =
+        w.actual == 0 ? nullptr : make_attack(w.attack, w.k, coin_base);
     auto factory = [spec, k = w.k](const ProtocolEnv& env, Rng rng) {
       return std::make_unique<SsByzClockSync>(env, k, spec, rng);
     };
@@ -112,8 +113,7 @@ inline EngineBuilder build_clock_sync(World w) {
 inline EngineBuilder build_dolev_welch(World w) {
   return [w](std::uint64_t seed) {
     EngineBundle b;
-    auto adv =
-        w.actual == 0 ? nullptr : make_attack(w.attack, w.k, nullptr, 0);
+    auto adv = w.actual == 0 ? nullptr : make_attack(w.attack, w.k, 0);
     auto factory = [k = w.k](const ProtocolEnv& env, Rng rng) {
       return std::make_unique<DolevWelchClock>(env, k, rng);
     };
@@ -129,8 +129,7 @@ inline EngineBuilder build_pipelined(World w, bool king) {
     EngineBundle b;
     const BaSpec spec =
         turpin_coan_spec(king ? phase_king_spec() : phase_queen_spec());
-    auto adv =
-        w.actual == 0 ? nullptr : make_attack(w.attack, w.k, nullptr, 0);
+    auto adv = w.actual == 0 ? nullptr : make_attack(w.attack, w.k, 0);
     auto factory = [spec, k = w.k](const ProtocolEnv& env, Rng rng) {
       return std::make_unique<PipelinedBaClock>(env, k, spec, rng);
     };
@@ -147,8 +146,7 @@ inline EngineBuilder build_cascade(World w, std::uint32_t levels) {
     auto beacon = std::make_shared<OracleBeacon>(
         w.n, OracleCoinParams{0.45, 0.45}, Rng(seed).split("beacon"));
     CoinSpec spec = oracle_coin_spec(beacon);
-    auto adv =
-        w.actual == 0 ? nullptr : make_attack(w.attack, w.k, beacon, 0);
+    auto adv = w.actual == 0 ? nullptr : make_attack(w.attack, w.k, 0);
     auto factory = [spec, levels](const ProtocolEnv& env, Rng rng) {
       return std::make_unique<CascadeClock>(env, levels, spec, rng);
     };
@@ -163,6 +161,106 @@ inline EngineBuilder build_cascade(World w, std::uint32_t levels) {
 inline std::string stat_cell(const TrialStats& s) {
   if (s.converged == 0) return "none converged";
   return fmt_double(s.mean, 1) + " (p90 " + fmt_double(s.p90, 0) + ")";
+}
+
+// "converged/trials" cell, reflecting any --trials override.
+inline std::string converged_cell(const TrialStats& s) {
+  return std::to_string(s.converged) + "/" + std::to_string(s.trials);
+}
+
+// ---------------------------------------------------------------------------
+// Shared CLI for the bench mains. Every binary accepts the same three
+// knobs; a value of 0 means "keep the experiment's per-table default"
+// (for --jobs, 0 means one worker per hardware thread, the default).
+struct BenchOptions {
+  std::uint64_t trials = 0;  // override every experiment's trial count
+  std::uint64_t seed = 0;    // offset added to every experiment's base seed
+  std::uint64_t jobs = 0;    // run_trials worker threads
+};
+
+inline BenchOptions& options() {
+  static BenchOptions opts;
+  return opts;
+}
+
+inline void parse_cli(int argc, char** argv) {
+  BenchOptions& o = options();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0]
+                << " [--trials N] [--jobs J] [--seed S]\n"
+                   "  --trials N  override every experiment's trial count "
+                   "(0 = keep per-experiment defaults)\n"
+                   "  --jobs J    worker threads for the trial runner "
+                   "(default/0: one per hardware thread; 1 = serial; "
+                   "clamped to 4x hardware threads)\n"
+                   "  --seed S    offset added to every experiment's base "
+                   "seed (fresh independent replication; 0 = defaults)\n"
+                   "results are bit-identical across --jobs values.\n";
+      std::exit(0);
+    }
+    const auto take_value = [&](std::uint64_t& slot) {
+      if (i + 1 >= argc) {
+        std::cerr << argv[0] << ": " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      const char* text = argv[++i];
+      // Strict digits-only: strtoull alone would skip leading whitespace
+      // and wrap negatives like " -3" to ~2^64.
+      bool digits_only = *text != '\0';
+      for (const char* p = text; *p != '\0'; ++p) {
+        if (*p < '0' || *p > '9') {
+          digits_only = false;
+          break;
+        }
+      }
+      errno = 0;
+      const unsigned long long v = std::strtoull(text, nullptr, 10);
+      if (!digits_only || errno == ERANGE) {
+        std::cerr << argv[0] << ": " << arg
+                  << " needs a non-negative integer, got '" << text << "'\n";
+        std::exit(2);
+      }
+      slot = v;
+    };
+    if (arg == "--trials") {
+      take_value(o.trials);
+    } else if (arg == "--jobs") {
+      take_value(o.jobs);
+    } else if (arg == "--seed") {
+      take_value(o.seed);
+    } else {
+      std::cerr << argv[0] << ": unknown option '" << arg
+                << "' (try --help)\n";
+      std::exit(2);
+    }
+  }
+}
+
+inline std::uint64_t trials_or(std::uint64_t def) {
+  return options().trials == 0 ? def : options().trials;
+}
+
+// --seed shifts, rather than replaces, each experiment's base seed: the
+// per-table offsets (e.g. 2000 + n) keep rows statistically independent
+// while a nonzero S yields a fresh independent replication of the whole
+// binary.
+inline std::uint64_t shifted_seed(std::uint64_t def) {
+  return def + options().seed;
+}
+
+// RunnerConfig with the CLI overrides applied on top of the experiment's
+// defaults. jobs comes straight from --jobs (0 = hardware concurrency).
+inline RunnerConfig runner_config(std::uint64_t default_trials,
+                                  std::uint64_t default_seed,
+                                  std::uint64_t max_beats) {
+  RunnerConfig rc;
+  rc.trials = trials_or(default_trials);
+  rc.base_seed = shifted_seed(default_seed);
+  rc.jobs = options().jobs;
+  rc.convergence.max_beats = max_beats;
+  return rc;
 }
 
 }  // namespace ssbft::bench

@@ -47,13 +47,9 @@ EngineBuilder build_clock2_world(std::uint32_t n, std::uint32_t f) {
 
 void tail_series(const std::string& name, const EngineBuilder& builder,
                  std::uint64_t trials, std::uint64_t max_beats) {
-  RunnerConfig rc;
-  rc.trials = trials;
-  rc.base_seed = 10;
-  rc.convergence.max_beats = max_beats;
-  auto stats = run_trials(builder, rc);
+  auto stats = run_trials(builder, runner_config(trials, 10, max_beats));
 
-  std::cout << "--- " << name << ": " << stats.converged << "/" << trials
+  std::cout << "--- " << name << ": " << converged_cell(stats)
             << " converged, mean " << fmt_double(stats.mean, 2) << ", p90 "
             << fmt_double(stats.p90, 1) << ", max " << stats.max << " ---\n";
   std::sort(stats.samples.begin(), stats.samples.end());
@@ -63,12 +59,12 @@ void tail_series(const std::string& name, const EngineBuilder& builder,
         std::upper_bound(stats.samples.begin(), stats.samples.end(), b) -
         stats.samples.begin());
     const double surv =
-        1.0 - static_cast<double>(below) / static_cast<double>(trials);
+        1.0 - static_cast<double>(below) / static_cast<double>(stats.trials);
     t.add_row({std::to_string(b), fmt_double(surv, 3)});
   }
   t.print(std::cout);
   // Geometric-decay readout: fit P[T > b] ~ exp(-b/tau) via the mean.
-  if (stats.converged == trials && stats.mean > 0) {
+  if (stats.converged == stats.trials && stats.mean > 0) {
     std::cout << "implied per-beat success rate ~ "
               << fmt_double(1.0 / (stats.mean + 1), 3) << "\n";
   }
@@ -77,7 +73,8 @@ void tail_series(const std::string& name, const EngineBuilder& builder,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_cli(argc, argv);
   std::cout << "=== Convergence-tail experiment (Theorem 2 remark: "
                "geometric decay) ===\n\n";
   tail_series("ss-Byz-2-Clock n=4 f=1 (split attack)",

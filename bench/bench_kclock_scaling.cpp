@@ -13,7 +13,8 @@
 using namespace ssbft;
 using namespace ssbft::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  parse_cli(argc, argv);
   std::cout << "=== k-Clock scaling: Figure-4 algorithm vs Section-5 "
                "cascade (n = 4, f = 1, noise adversary) ===\n\n";
   AsciiTable t({"k", "algorithm", "mean beats", "p90", "converged",
@@ -27,24 +28,20 @@ int main() {
     w.k = k;
     w.attack = Attack::kNoise;
 
-    RunnerConfig rc;
-    rc.trials = 15;
-    rc.base_seed = 60 + levels;
-    rc.convergence.max_beats = 30000;
+    RunnerConfig rc = runner_config(15, 60 + levels, 30000);
     rc.convergence.confirm_window = 2 * k + 8;
 
     auto sync_stats = run_trials(build_clock_sync(w), rc);
     t.add_row({std::to_string(k), "ss-Byz-Clock-Sync",
                fmt_double(sync_stats.mean, 1), fmt_double(sync_stats.p90, 0),
-               std::to_string(sync_stats.converged) + "/15",
+               converged_cell(sync_stats),
                fmt_double(sync_stats.mean_msgs_per_beat, 1)});
 
     auto casc_stats = run_trials(build_cascade(w, levels), rc);
     t.add_row({std::to_string(k), "cascade (Sec. 5)",
                casc_stats.converged ? fmt_double(casc_stats.mean, 1)
                                     : "none converged",
-               fmt_double(casc_stats.p90, 0),
-               std::to_string(casc_stats.converged) + "/15",
+               fmt_double(casc_stats.p90, 0), converged_cell(casc_stats),
                fmt_double(casc_stats.mean_msgs_per_beat, 1)});
   }
   t.print(std::cout);

@@ -20,7 +20,7 @@ struct Traffic {
 };
 
 Traffic steady_state(const EngineBuilder& builder, std::uint64_t beats) {
-  auto bundle = builder(123);
+  auto bundle = builder(shifted_seed(123));
   bundle.engine->run_beats(beats);
   // Discard warmup: measure the second half only.
   const auto& hist = bundle.engine->metrics().history();
@@ -38,7 +38,12 @@ Traffic steady_state(const EngineBuilder& builder, std::uint64_t beats) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_cli(argc, argv);
+  if (options().trials != 0 || options().jobs != 0) {
+    std::cerr << "note: this bench measures one steady-state engine per row; "
+                 "--trials/--jobs have no effect here (--seed applies)\n";
+  }
   std::cout << "=== Steady-state traffic per beat (all correct nodes, "
                "k = 16, silent adversary) ===\n\n";
   AsciiTable t({"algorithm", "n", "f", "msgs/beat", "KiB/beat",

@@ -19,10 +19,7 @@ namespace {
 
 double survival(const EngineBuilder& builder, std::uint64_t trials,
                 std::uint64_t max_beats) {
-  RunnerConfig rc;
-  rc.trials = trials;
-  rc.base_seed = 77;
-  rc.convergence.max_beats = max_beats;
+  RunnerConfig rc = runner_config(trials, 77, max_beats);
   rc.convergence.confirm_window = 24;
   auto s = run_trials(builder, rc);
   return s.convergence_rate();
@@ -30,10 +27,11 @@ double survival(const EngineBuilder& builder, std::uint64_t trials,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_cli(argc, argv);
   const std::uint32_t n = 13;
   std::cout << "=== Resiliency boundaries at n = " << n
-            << " (skew adversary, 10 trials/cell) ===\n"
+            << " (skew adversary, " << trials_or(10) << " trials/cell) ===\n"
             << "floor((n-1)/4) = 3, floor((n-1)/3) = 4, n/3 ceil = 5\n\n";
 
   AsciiTable t({"actual faulty", "queen [15] (f<n/4)", "king [7] (f<n/3)",

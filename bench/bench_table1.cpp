@@ -22,16 +22,13 @@ namespace {
 
 TrialStats run(const EngineBuilder& builder, std::uint64_t trials,
                std::uint64_t max_beats, std::uint64_t seed0) {
-  RunnerConfig rc;
-  rc.trials = trials;
-  rc.base_seed = seed0;
-  rc.convergence.max_beats = max_beats;
-  return run_trials(builder, rc);
+  return run_trials(builder, runner_config(trials, seed0, max_beats));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_cli(argc, argv);
   std::cout << "=== Table 1 (PODC'08): measured convergence, synchronous "
                "model, k = 64 ===\n\n";
 
@@ -67,7 +64,7 @@ int main() {
                      std::to_string(n), std::to_string(f),
                      s.converged ? fmt_double(s.mean, 0) : ">" + std::to_string(cap),
                      s.converged ? fmt_double(s.p90, 0) : "-", "-",
-                     std::to_string(s.converged) + "/10"});
+                     converged_cell(s)});
     }
     // [15] pipelined phase-queen: deterministic O(f), needs f < n/4 — run
     // at its own legal configuration (same n, f' = floor((n-1)/4)).
@@ -81,7 +78,7 @@ int main() {
       table.add_row({"pipelined queen [15]", "O(f)", "f < n/4",
                      std::to_string(n), std::to_string(wq.f), stat_cell(s),
                      fmt_double(s.p90, 0), std::to_string(bound),
-                     std::to_string(s.converged) + "/20"});
+                     converged_cell(s)});
     }
     // [7] pipelined TC+phase-king: deterministic O(f), f < n/3.
     {
@@ -91,7 +88,7 @@ int main() {
       table.add_row({"pipelined king [7]", "O(f)", "f < n/3",
                      std::to_string(n), std::to_string(f), stat_cell(s),
                      fmt_double(s.p90, 0), std::to_string(bound),
-                     std::to_string(s.converged) + "/20"});
+                     converged_cell(s)});
     }
     // This paper: ss-Byz-Clock-Sync, expected O(1).
     {
@@ -100,8 +97,7 @@ int main() {
       auto s = run(build_clock_sync(w), 20, 8000, 4000 + n);
       table.add_row({"ss-Byz-Clock-Sync", "O(1) expected", "f < n/3",
                      std::to_string(n), std::to_string(f), stat_cell(s),
-                     fmt_double(s.p90, 0), "-",
-                     std::to_string(s.converged) + "/20"});
+                     fmt_double(s.p90, 0), "-", converged_cell(s)});
     }
   }
 
@@ -124,7 +120,7 @@ int main() {
     auto s = run(build_clock_sync(w), 10, 8000, 5000 + n);
     fm_table.add_row({std::to_string(n), std::to_string(f), "skew",
                       fmt_double(s.mean, 1), fmt_double(s.p90, 0),
-                      std::to_string(s.converged) + "/10"});
+                      converged_cell(s)});
   }
   fm_table.print(std::cout);
 

@@ -1,6 +1,10 @@
 #include "harness/runner.h"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
 
 #include "support/check.h"
 
@@ -8,7 +12,7 @@ namespace ssbft {
 
 namespace {
 
-double percentile(std::vector<std::uint64_t> sorted, double q) {
+double percentile(const std::vector<std::uint64_t>& sorted, double q) {
   if (sorted.empty()) return 0.0;
   const double idx = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(idx);
@@ -18,22 +22,82 @@ double percentile(std::vector<std::uint64_t> sorted, double q) {
          static_cast<double>(sorted[hi]) * frac;
 }
 
+// What one trial contributes to the aggregate, captured per index so that
+// workers never contend and the merge can run in trial order.
+struct TrialOutcome {
+  bool converged = false;
+  std::uint64_t synced_at = 0;
+  double msgs_per_beat = 0.0;
+};
+
+std::uint64_t effective_jobs(const RunnerConfig& cfg) {
+  const unsigned hw_raw = std::thread::hardware_concurrency();
+  const std::uint64_t hw = hw_raw == 0 ? 1 : hw_raw;
+  std::uint64_t jobs = cfg.jobs == 0 ? hw : cfg.jobs;
+  // Trials are CPU-bound, so threads beyond the core count only add
+  // scheduling overhead — and an absurd jobs value must not exhaust OS
+  // threads. Results are jobs-independent, so clamping is safe.
+  jobs = std::min(jobs, 4 * hw);
+  return std::min(jobs, cfg.trials);
+}
+
 }  // namespace
 
 TrialStats run_trials(const EngineBuilder& builder, const RunnerConfig& cfg) {
   TrialStats stats;
   stats.trials = cfg.trials;
-  double msgs_acc = 0.0;
-  for (std::uint64_t t = 0; t < cfg.trials; ++t) {
+  if (cfg.trials == 0) return stats;
+
+  std::vector<TrialOutcome> outcomes(cfg.trials);
+  const auto run_one = [&](std::uint64_t t) {
     EngineBundle bundle = builder(cfg.base_seed + t);
     SSBFT_CHECK(bundle.engine != nullptr);
     const ConvergenceResult r =
         measure_convergence(*bundle.engine, cfg.convergence);
-    if (r.converged) {
-      ++stats.converged;
-      stats.samples.push_back(r.synced_at);
+    outcomes[t] = {r.converged, r.synced_at,
+                   bundle.engine->metrics().mean_correct_messages_per_beat()};
+  };
+
+  const std::uint64_t jobs = effective_jobs(cfg);
+  if (jobs <= 1) {
+    for (std::uint64_t t = 0; t < cfg.trials; ++t) run_one(t);
+  } else {
+    std::atomic<std::uint64_t> next{0};
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::uint64_t w = 0; w < jobs; ++w) {
+      pool.emplace_back([&] {
+        try {
+          for (std::uint64_t t = next.fetch_add(1); t < cfg.trials;
+               t = next.fetch_add(1)) {
+            run_one(t);
+          }
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (!first_error) first_error = std::current_exception();
+          }
+          // Exhaust the index counter so the other workers wind down
+          // instead of grinding through the remaining trials.
+          next.store(cfg.trials);
+        }
+      });
     }
-    msgs_acc += bundle.engine->metrics().mean_correct_messages_per_beat();
+    for (auto& th : pool) th.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  // Merge in trial order: sample order and floating-point accumulation
+  // order match the serial path exactly.
+  double msgs_acc = 0.0;
+  for (const TrialOutcome& o : outcomes) {
+    msgs_acc += o.msgs_per_beat;
+    if (o.converged) {
+      ++stats.converged;
+      stats.samples.push_back(o.synced_at);
+    }
   }
   stats.mean_msgs_per_beat = msgs_acc / static_cast<double>(cfg.trials);
   if (!stats.samples.empty()) {

@@ -47,6 +47,11 @@ struct TrialStats {
 struct RunnerConfig {
   std::uint64_t trials = 50;
   std::uint64_t base_seed = 1;
+  // Worker threads running trials. 1 = serial; 0 = one per hardware
+  // thread; clamped to 4x the hardware thread count. Trial t is always
+  // seeded base_seed + t and results are merged in trial order, so
+  // TrialStats is bit-identical for every jobs value.
+  std::uint64_t jobs = 1;
   ConvergenceConfig convergence;
 };
 

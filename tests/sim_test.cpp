@@ -233,6 +233,56 @@ TEST(Engine, FaultyNetworkCanDropMessages) {
   }
 }
 
+TEST(Metrics, EmptyHistoryMeansZero) {
+  Metrics m;
+  EXPECT_TRUE(m.history().empty());
+  EXPECT_DOUBLE_EQ(m.mean_correct_messages_per_beat(), 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_correct_bytes_per_beat(), 0.0);
+  EXPECT_EQ(m.total().correct_messages, 0u);
+}
+
+TEST(Metrics, CountsLandInTheCurrentBeat) {
+  Metrics m;
+  m.begin_beat();
+  m.count_correct(10);
+  m.count_correct(6);
+  m.count_adversary(3);
+  m.begin_beat();  // boundary: subsequent counts belong to beat 1
+  m.count_correct(4);
+  m.count_phantom();
+
+  ASSERT_EQ(m.history().size(), 2u);
+  EXPECT_EQ(m.history()[0].correct_messages, 2u);
+  EXPECT_EQ(m.history()[0].correct_bytes, 16u);
+  EXPECT_EQ(m.history()[0].adversary_messages, 1u);
+  EXPECT_EQ(m.history()[0].adversary_bytes, 3u);
+  EXPECT_EQ(m.history()[0].phantom_messages, 0u);
+  EXPECT_EQ(m.history()[1].correct_messages, 1u);
+  EXPECT_EQ(m.history()[1].correct_bytes, 4u);
+  EXPECT_EQ(m.history()[1].phantom_messages, 1u);
+
+  // Totals aggregate across the beat boundary.
+  EXPECT_EQ(m.total().correct_messages, 3u);
+  EXPECT_EQ(m.total().correct_bytes, 20u);
+  EXPECT_EQ(m.total().adversary_messages, 1u);
+  EXPECT_EQ(m.total().phantom_messages, 1u);
+  EXPECT_DOUBLE_EQ(m.mean_correct_messages_per_beat(), 1.5);
+  EXPECT_DOUBLE_EQ(m.mean_correct_bytes_per_beat(), 10.0);
+}
+
+TEST(Metrics, EmptyBeatStaysZeroInHistory) {
+  Metrics m;
+  m.begin_beat();
+  m.count_correct(8);
+  m.begin_beat();  // a beat in which nothing is sent
+  m.begin_beat();
+  m.count_correct(8);
+  ASSERT_EQ(m.history().size(), 3u);
+  EXPECT_EQ(m.history()[1].correct_messages, 0u);
+  EXPECT_EQ(m.history()[1].correct_bytes, 0u);
+  EXPECT_DOUBLE_EQ(m.mean_correct_messages_per_beat(), 2.0 / 3.0);
+}
+
 TEST(Engine, MetricsCountTraffic) {
   auto eng = Engine(basic_config(3, 0), echo_factory(), nullptr);
   eng.run_beats(4);
