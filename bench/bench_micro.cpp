@@ -115,6 +115,111 @@ void BM_GvssDealing(benchmark::State& state) {
 }
 BENCHMARK(BM_GvssDealing)->Arg(1)->Arg(2)->Arg(4);
 
+// --- Beat-loop plumbing benchmarks ----------------------------------------
+//
+// Measures the engine's per-beat message plumbing (outbox fill, adversary
+// observation, delivery, inbox bucketing) with deliberately cheap protocol
+// logic, so the numbers isolate the send/deliver/receive path rather than
+// field arithmetic. Modes: 0 = all-correct, 1 = with a flooding adversary,
+// 2 = adversary + a permanently faulty network injecting phantoms.
+
+// Broadcasts a fixed-size payload on two channels and tallies what arrives.
+class BeatLoopProtocol final : public ClockProtocol {
+ public:
+  explicit BeatLoopProtocol(const ProtocolEnv& env) : env_(env) {}
+
+  void send_phase(Outbox& out) override {
+    w_.clear();
+    w_.u32(env_.self);
+    w_.u64(state_);
+    out.broadcast(0, w_.data());
+    w_.clear();
+    w_.u64(state_ ^ 0x9e3779b97f4a7c15ull);
+    out.broadcast(1, w_.data());
+  }
+
+  void receive_phase(const Inbox& in) override {
+    std::uint64_t acc = 0;
+    for (ChannelId ch = 0; ch < 2; ++ch) {
+      const auto payloads = in.first_per_sender(ch);
+      for (const Bytes* p : payloads) {
+        if (p == nullptr) continue;
+        ByteReader r(*p);
+        if (ch == 0) (void)r.u32();
+        acc += r.u64();
+        if (!r.at_end()) ++garbage_;
+      }
+    }
+    state_ += acc + 1;
+  }
+
+  void randomize_state(Rng& rng) override { state_ = rng.next_u64(); }
+  ClockValue clock() const override { return state_ % 4; }
+  ClockValue modulus() const override { return 4; }
+  std::uint32_t channel_count() const override { return 2; }
+
+ private:
+  ProtocolEnv env_;
+  ByteWriter w_;
+  std::uint64_t state_ = 0;
+  std::uint64_t garbage_ = 0;
+};
+
+// Each faulty node floods both channels with equivocating per-recipient
+// payloads, exercising the adversary-observation and delivery paths.
+class BeatLoopAdversary final : public Adversary {
+ public:
+  void act(AdversaryContext& ctx) override {
+    for (NodeId from : ctx.faulty()) {
+      for (NodeId to = 0; to < ctx.n(); ++to) {
+        w_.clear();
+        w_.u32(from);
+        w_.u64(ctx.beat() * 2 + (to % 2));
+        ctx.send(from, to, 0, w_.data());
+      }
+    }
+  }
+
+ private:
+  ByteWriter w_;
+};
+
+void BM_BeatLoop(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto mode = static_cast<int>(state.range(1));
+  const std::uint32_t f = mode == 0 ? 0 : (n - 1) / 3;
+  EngineConfig cfg;
+  cfg.n = n;
+  cfg.f = f;
+  cfg.faulty = EngineConfig::last_ids_faulty(n, f);
+  cfg.seed = 21;
+  cfg.metrics_history_limit = 8;  // measure the allocation-free configuration
+  if (mode == 2) {
+    // Permanently faulty network: phantom traffic on every beat.
+    cfg.faults.network_faulty_until = ~std::uint64_t{0};
+    cfg.faults.phantoms_per_beat = 2;
+    cfg.faults.phantom_max_len = 24;
+  }
+  auto factory = [](const ProtocolEnv& env, Rng) {
+    return std::make_unique<BeatLoopProtocol>(env);
+  };
+  Engine eng(cfg, factory,
+             f > 0 ? std::unique_ptr<Adversary>(new BeatLoopAdversary)
+                   : nullptr);
+  eng.run_beats(8);  // settle buffers before timing
+  for (auto _ : state) {
+    eng.run_beat();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["msgs_per_beat"] =
+      eng.metrics().mean_correct_messages_per_beat();
+}
+BENCHMARK(BM_BeatLoop)
+    ->ArgNames({"n", "mode"})
+    ->Args({4, 0})->Args({4, 1})->Args({4, 2})
+    ->Args({16, 0})->Args({16, 1})->Args({16, 2})
+    ->Args({64, 0})->Args({64, 1})->Args({64, 2});
+
 // Whole-stack beat throughput: ss-Byz-Clock-Sync + FM coin + skew attack.
 void BM_FullStackBeat(benchmark::State& state) {
   const auto f = static_cast<std::uint32_t>(state.range(0));

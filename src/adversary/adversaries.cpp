@@ -25,14 +25,14 @@ class RandomNoiseAdversary final : public Adversary {
   void act(AdversaryContext& ctx) override {
     for (NodeId from : ctx.faulty()) {
       for (std::uint32_t i = 0; i < per_beat_; ++i) {
-        Bytes payload(ctx.rng().next_below(max_payload_ + 1));
-        for (auto& b : payload) {
+        payload_.resize(ctx.rng().next_below(max_payload_ + 1));
+        for (auto& b : payload_) {
           b = static_cast<std::uint8_t>(ctx.rng().next_below(256));
         }
         const auto to = static_cast<NodeId>(ctx.rng().next_below(ctx.n()));
         const auto ch = static_cast<ChannelId>(
             ctx.rng().next_below(std::max<std::uint32_t>(ctx.channel_count(), 1)));
-        ctx.send(from, to, ch, std::move(payload));
+        ctx.send(from, to, ch, payload_);
       }
     }
   }
@@ -40,6 +40,7 @@ class RandomNoiseAdversary final : public Adversary {
  private:
   std::uint32_t per_beat_;
   std::uint32_t max_payload_;
+  Bytes payload_;  // reused scratch; ctx.send copies it into pooled storage
 };
 
 class SplitValueAdversary final : public Adversary {
@@ -102,16 +103,16 @@ class ClockSkewAdversary final : public Adversary {
       const ClockValue vb = ctx.rng().next_below(k_);
       for (NodeId to = 0; to < ctx.n(); ++to) {
         const bool low = to < ctx.n() / 2;
-        ByteWriter wf;
-        wf.u64(low ? va : vb);
-        ctx.send(from, to, full_, std::move(wf).take());
-        ByteWriter wp;
-        wp.u8(1);
-        wp.u64(low ? va : vb);
-        ctx.send(from, to, prop, std::move(wp).take());
-        ByteWriter wb;
-        wb.u8(low ? 1 : 0);
-        ctx.send(from, to, bit, std::move(wb).take());
+        wf_.clear();
+        wf_.u64(low ? va : vb);
+        ctx.send(from, to, full_, wf_.data());
+        wp_.clear();
+        wp_.u8(1);
+        wp_.u64(low ? va : vb);
+        ctx.send(from, to, prop, wp_.data());
+        wb_.clear();
+        wb_.u8(low ? 1 : 0);
+        ctx.send(from, to, bit, wb_.data());
       }
     }
   }
@@ -119,6 +120,7 @@ class ClockSkewAdversary final : public Adversary {
  private:
   ClockValue k_;
   ChannelId full_;
+  ByteWriter wf_, wp_, wb_;  // reused across beats
 };
 
 class AdaptiveQuorumSplitter final : public Adversary {
@@ -168,7 +170,7 @@ class AdaptiveQuorumSplitter final : public Adversary {
         const auto it = sender_value.find(to);
         const bool holder = it != sender_value.end() && it->second == u;
         w.u64(holder ? u : ctx.rng().next_below(k_));
-        ctx.send(from, to, channel_, std::move(w).take());
+        ctx.send(from, to, channel_, w.data());
       }
     }
   }
@@ -230,7 +232,7 @@ class FmCoinAttacker final : public Adversary {
         auto coeffs = row.coeffs();
         coeffs.resize(std::size_t{f} + 1, 0);
         w.u64_vec(coeffs);
-        ctx.send(self, to, base_, std::move(w).take());
+        ctx.send(self, to, base_, w.data());
       }
       // Round 2: honest cross values (keeps every dealing's happy set
       // intact — the attack is downstream).
@@ -247,8 +249,7 @@ class FmCoinAttacker final : public Adversary {
             }
             ByteWriter w;
             w.u64_vec(vals);
-            ctx.send(self, to, static_cast<ChannelId>(base_ + 1),
-                     std::move(w).take());
+            ctx.send(self, to, static_cast<ChannelId>(base_ + 1), w.data());
           }
         }
       }
@@ -281,8 +282,7 @@ class FmCoinAttacker final : public Adversary {
             }
             ByteWriter w;
             w.u64_vec(vals);
-            ctx.send(self, to, static_cast<ChannelId>(base_ + 3),
-                     std::move(w).take());
+            ctx.send(self, to, static_cast<ChannelId>(base_ + 3), w.data());
           }
         }
       }

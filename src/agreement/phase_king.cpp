@@ -32,7 +32,7 @@ void PhaseKingInstance::send_round(int round, Outbox& out, ChannelId base) {
   const int phase = (round - 1) / 3;
   const int sub = (round - 1) % 3;
   const auto ch = static_cast<ChannelId>(base + round - 1);
-  ByteWriter w;
+  ByteWriter& w = out.writer();
   switch (sub) {
     case 0:  // R1: universal exchange of v.
       w.u8(v_ ? 1 : 0);

@@ -11,7 +11,7 @@ void PhaseQueenInstance::send_round(int round, Outbox& out, ChannelId base) {
   const int phase = (round - 1) / 2;
   const int sub = (round - 1) % 2;
   const auto ch = static_cast<ChannelId>(base + round - 1);
-  ByteWriter w;
+  ByteWriter& w = out.writer();
   if (sub == 0) {
     w.u8(v_ ? 1 : 0);
     out.broadcast(ch, w.data());

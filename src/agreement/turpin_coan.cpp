@@ -30,11 +30,11 @@ void TurpinCoanInstance::ensure_inner(bool input) {
 
 void TurpinCoanInstance::send_round(int round, Outbox& out, ChannelId base) {
   if (round == 1) {
-    ByteWriter w;
+    ByteWriter& w = out.writer();
     w.u64(input_);
     out.broadcast(base, w.data());
   } else if (round == 2) {
-    ByteWriter w;
+    ByteWriter& w = out.writer();
     w.u8(have_z_ ? kValue : kBottom);
     w.u64(z_);
     out.broadcast(static_cast<ChannelId>(base + 1), w.data());

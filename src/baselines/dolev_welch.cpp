@@ -13,7 +13,7 @@ DolevWelchClock::DolevWelchClock(const ProtocolEnv& env, ClockValue k, Rng rng,
 }
 
 void DolevWelchClock::send_phase(Outbox& out) {
-  ByteWriter w;
+  ByteWriter& w = out.writer();
   w.u64(clock_ % k_);
   out.broadcast(base_, w.data());
 }
@@ -57,7 +57,7 @@ DolevWelchSharedCoin::DolevWelchSharedCoin(const ProtocolEnv& env,
 }
 
 void DolevWelchSharedCoin::send_phase(Outbox& out) {
-  ByteWriter w;
+  ByteWriter& w = out.writer();
   w.u64(clock_ % k_);
   out.broadcast(base_, w.data());
   coin_->send_phase(out);

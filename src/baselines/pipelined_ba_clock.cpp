@@ -37,7 +37,7 @@ void PipelinedBaClock::send_phase(Outbox& out) {
   for (int j = 0; j < rounds_; ++j) {
     slots_[static_cast<std::size_t>(j)]->send_round(j + 1, out, base_);
   }
-  ByteWriter w;
+  ByteWriter& w = out.writer();
   w.u64(clock_ % k_);
   out.broadcast(clock_channel_, w.data());
 }

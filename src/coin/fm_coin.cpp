@@ -72,9 +72,9 @@ void FmCoinInstance::receive_round(int round, const Inbox& in,
 // Round 1 — share phase: as dealer, send node j its row F(x_j, y).
 void FmCoinInstance::send_deal(Outbox& out, ChannelId ch) {
   for (NodeId j = 0; j < env_.n; ++j) {
-    ByteWriter w;
+    ByteWriter& w = out.writer();
     w.u64_vec(dealing_.row_for(field_, j));
-    out.send(j, ch, std::move(w).take());
+    out.send(j, ch, w.data());
   }
 }
 
@@ -99,9 +99,9 @@ void FmCoinInstance::send_cross(Outbox& out, ChannelId ch) {
     for (NodeId d = 0; d < env_.n; ++d) {
       if (rows_[d]) vals[d] = rows_[d]->eval(field_, node_point(j));
     }
-    ByteWriter w;
+    ByteWriter& w = out.writer();
     w.u64_vec(vals);
-    out.send(j, ch, std::move(w).take());
+    out.send(j, ch, w.data());
   }
 }
 
@@ -128,7 +128,7 @@ void FmCoinInstance::recv_cross(const Inbox& in, ChannelId ch) {
 
 // Round 3 — decide phase: broadcast my happy votes.
 void FmCoinInstance::send_votes(Outbox& out, ChannelId ch) {
-  ByteWriter w;
+  ByteWriter& w = out.writer();
   w.u64_vec(pack_bits(happy_));
   out.broadcast(ch, w.data());
 }
@@ -161,7 +161,7 @@ void FmCoinInstance::send_shares(Outbox& out, ChannelId ch) {
   for (NodeId d = 0; d < env_.n; ++d) {
     if (rows_[d]) shares[d] = rows_[d]->eval(field_, 0);
   }
-  ByteWriter w;
+  ByteWriter& w = out.writer();
   w.u64_vec(shares);
   out.broadcast(ch, w.data());
 }

@@ -23,7 +23,7 @@ SsByz2Clock::SsByz2Clock(const ProtocolEnv& env, ChannelId base, Rng rng)
 
 void SsByz2Clock::sub_send(Outbox& out) {
   // Line 1: broadcast clock (one byte: 0, 1 or ?).
-  ByteWriter w;
+  ByteWriter& w = out.writer();
   w.u8(static_cast<std::uint8_t>(clock_));
   out.broadcast(clock_channel_, w.data());
   // Line 2 (send half): the coin's messages for this beat.

@@ -43,13 +43,13 @@ void SsByzClockSync::send_phase(Outbox& out) {
 
   switch (phase_) {
     case 0: {  // Block (a): broadcast the full clock.
-      ByteWriter w;
+      ByteWriter& w = out.writer();
       w.u64(full_clock_);
       out.broadcast(ch_full_, w.data());
       break;
     }
     case 1: {  // Block (b): propose what had n-f support in the previous beat.
-      ByteWriter w;
+      ByteWriter& w = out.writer();
       if (strong_value_) {
         w.u8(kPropValue);
         w.u64(*strong_value_);
@@ -61,7 +61,7 @@ void SsByzClockSync::send_phase(Outbox& out) {
       break;
     }
     case 2: {  // Block (c): broadcast whether save had n-f support.
-      ByteWriter w;
+      ByteWriter& w = out.writer();
       w.u8(bit_);
       out.broadcast(ch_bit_, w.data());
       break;

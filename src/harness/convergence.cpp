@@ -15,6 +15,10 @@ bool clocks_agree(const Engine& engine) {
 ConvergenceResult measure_convergence(Engine& engine,
                                       const ConvergenceConfig& cfg) {
   SSBFT_REQUIRE(!engine.correct_ids().empty());
+  // A zero window would satisfy `streak >= confirm_window` after the very
+  // first beat, declaring convergence regardless of agreement.
+  SSBFT_REQUIRE_MSG(cfg.confirm_window >= 1,
+                    "confirm_window must be at least 1 beat");
   const auto* first =
       dynamic_cast<const ClockProtocol*>(&engine.node(engine.correct_ids()[0]));
   SSBFT_REQUIRE_MSG(first != nullptr, "engine does not host ClockProtocols");

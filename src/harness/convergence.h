@@ -20,7 +20,8 @@ struct ConvergenceConfig {
   // Give up after this many beats.
   std::uint64_t max_beats = 10'000;
   // Beats of sustained synced-and-incrementing behavior required before
-  // declaring convergence.
+  // declaring convergence. Must be >= 1 (0 would trivially "converge" on
+  // the first beat).
   std::uint64_t confirm_window = 12;
 };
 

@@ -20,12 +20,18 @@ namespace ssbft {
 
 class AdversaryContext {
  public:
+  // `pool` and `sink` may be null for standalone use (tests); the engine
+  // passes its per-beat scratch so adversary traffic recycles payload
+  // storage like every other message (see message.h for the ownership
+  // rules).
   AdversaryContext(std::uint32_t n, std::uint32_t f,
                    const std::vector<NodeId>& faulty, Beat beat,
                    const std::vector<Message>& observed, Rng& rng,
-                   std::uint32_t channel_count)
+                   std::uint32_t channel_count, BytesPool* pool = nullptr,
+                   std::vector<Message>* sink = nullptr)
       : n_(n), f_(f), faulty_(faulty), beat_(beat), observed_(observed),
-        rng_(rng), channel_count_(channel_count) {}
+        rng_(rng), channel_count_(channel_count), external_pool_(pool),
+        sink_(sink != nullptr ? sink : &owned_sends_) {}
 
   std::uint32_t n() const { return n_; }
   std::uint32_t f() const { return f_; }
@@ -39,21 +45,27 @@ class AdversaryContext {
   Rng& rng() { return rng_; }
   std::uint32_t channel_count() const { return channel_count_; }
 
-  // Emit a message from a faulty node. `from` must be faulty.
-  void send(NodeId from, NodeId to, ChannelId channel, Bytes payload);
+  // Emit a message from a faulty node. `from` must be faulty. The payload
+  // is copied into pooled storage; the caller keeps its buffer.
+  void send(NodeId from, NodeId to, ChannelId channel, const Bytes& payload);
   // Same payload from `from` to every node.
   void broadcast(NodeId from, ChannelId channel, const Bytes& payload);
 
-  std::vector<Message> take_sends() { return std::move(sends_); }
+  const std::vector<Message>& sends() const { return *sink_; }
 
  private:
+  BytesPool& pool() { return external_pool_ ? *external_pool_ : owned_pool_; }
+
   std::uint32_t n_, f_;
   const std::vector<NodeId>& faulty_;
   Beat beat_;
   const std::vector<Message>& observed_;
   Rng& rng_;
   std::uint32_t channel_count_;
-  std::vector<Message> sends_;
+  BytesPool* external_pool_;
+  BytesPool owned_pool_;
+  std::vector<Message> owned_sends_;
+  std::vector<Message>* sink_;
 };
 
 class Adversary {

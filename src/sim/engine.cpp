@@ -7,14 +7,16 @@
 namespace ssbft {
 
 void AdversaryContext::send(NodeId from, NodeId to, ChannelId channel,
-                            Bytes payload) {
+                            const Bytes& payload) {
   SSBFT_REQUIRE_MSG(to < n_, "adversary send target out of range");
   const bool from_is_faulty =
       std::find(faulty_.begin(), faulty_.end(), from) != faulty_.end();
   SSBFT_REQUIRE_MSG(from_is_faulty,
                     "adversary may only send from faulty nodes (sender "
                     "identity is unforgeable, Definition 2.2.2)");
-  sends_.push_back(Message{from, to, channel, std::move(payload)});
+  Bytes b = pool().acquire();
+  b.assign(payload.begin(), payload.end());
+  sink_->push_back(Message{from, to, channel, std::move(b)});
 }
 
 void AdversaryContext::broadcast(NodeId from, ChannelId channel,
@@ -37,10 +39,13 @@ Engine::Engine(EngineConfig cfg, const ProtocolFactory& factory,
       adversary_(std::move(adversary)),
       adv_rng_(Rng(cfg_.seed).split("adversary")),
       corrupt_rng_(Rng(cfg_.seed).split("corrupt")),
-      net_rng_(Rng(cfg_.seed).split("network")) {
+      net_rng_(Rng(cfg_.seed).split("network")),
+      metrics_(cfg_.metrics_history_limit),
+      outbox_(0, cfg_.n, &pool_) {
   SSBFT_REQUIRE(cfg_.n >= 1);
   SSBFT_REQUIRE_MSG(adversary_ != nullptr || cfg_.faulty.empty(),
                     "faulty nodes present but no adversary supplied");
+  cfg_.faults.validate();
   is_faulty_.assign(cfg_.n, false);
   for (NodeId id : cfg_.faulty) {
     SSBFT_REQUIRE(id < cfg_.n);
@@ -62,8 +67,10 @@ Engine::Engine(EngineConfig cfg, const ProtocolFactory& factory,
   }
   inboxes_.reserve(cfg_.n);
   for (NodeId id = 0; id < cfg_.n; ++id) {
-    inboxes_.emplace_back(cfg_.n, channel_count_);
+    inboxes_.emplace_back(cfg_.n, channel_count_, &pool_);
   }
+  // Send phases write straight into the beat scratch; no drain pass.
+  outbox_.bind_sink(&correct_msgs_);
 }
 
 Engine::~Engine() = default;
@@ -96,6 +103,11 @@ void Engine::corrupt_node(NodeId id) {
   protocols_[id]->randomize_state(corrupt_rng_);
 }
 
+void Engine::recycle(std::vector<Message>& msgs) {
+  for (Message& m : msgs) pool_.release(std::move(m.payload));
+  msgs.clear();
+}
+
 void Engine::run_beat() {
   metrics_.begin_beat();
   for (BeatListener* l : listeners_) l->on_beat(beat_);
@@ -108,43 +120,49 @@ void Engine::run_beat() {
     }
   }
 
-  // 1. Send phases: pure functions of pre-beat state, in id order.
-  std::vector<Message> correct_msgs;
+  // 1. Send phases: pure functions of pre-beat state, in id order. The
+  //    outbox writes straight into the persistent beat scratch; payload
+  //    storage stays pooled.
   for (NodeId id : correct_ids_) {
-    Outbox out(id, cfg_.n);
-    protocols_[id]->send_phase(out);
-    for (Message& m : out.take()) {
-      metrics_.count_correct(m.payload.size());
-      correct_msgs.push_back(std::move(m));
-    }
+    outbox_.reset(id);
+    protocols_[id]->send_phase(outbox_);
+    metrics_.count_correct_bulk(outbox_.sent_messages(), outbox_.sent_bytes());
   }
 
   // 2. Adversary turn (rushing): it sees exactly the beat-r messages
   //    addressed to faulty nodes, then commits the faulty nodes' sends.
-  std::vector<Message> adv_msgs;
   if (adversary_ != nullptr && !cfg_.faulty.empty()) {
-    std::vector<Message> observed;
-    for (const Message& m : correct_msgs) {
-      if (is_faulty_[m.to]) observed.push_back(m);
+    for (const Message& m : correct_msgs_) {
+      if (!is_faulty_[m.to]) continue;
+      Bytes b = pool_.acquire();
+      b.assign(m.payload.begin(), m.payload.end());
+      observed_.push_back(Message{m.from, m.to, m.channel, std::move(b)});
     }
-    AdversaryContext ctx(cfg_.n, cfg_.f, cfg_.faulty, beat_, observed,
-                         adv_rng_, channel_count_);
+    AdversaryContext ctx(cfg_.n, cfg_.f, cfg_.faulty, beat_, observed_,
+                         adv_rng_, channel_count_, &pool_, &adv_msgs_);
     adversary_->act(ctx);
-    adv_msgs = ctx.take_sends();
-    for (const Message& m : adv_msgs) metrics_.count_adversary(m.payload.size());
+    std::uint64_t adv_bytes = 0;
+    for (const Message& m : adv_msgs_) adv_bytes += m.payload.size();
+    metrics_.count_adversary_bulk(adv_msgs_.size(), adv_bytes);
   }
 
   // 3. Delivery (with network faults during the faulty prefix).
   const bool network_faulty = beat_ < cfg_.faults.network_faulty_until;
   for (Inbox& ib : inboxes_) ib.clear();
-  deliver(correct_msgs, /*from_adversary=*/false, net_rng_, network_faulty);
-  deliver(adv_msgs, /*from_adversary=*/true, net_rng_, network_faulty);
+  deliver(correct_msgs_, net_rng_, network_faulty);
+  deliver(adv_msgs_, net_rng_, network_faulty);
   if (network_faulty) inject_phantoms(net_rng_);
 
   // 4. Receive phases.
   for (NodeId id : correct_ids_) {
     protocols_[id]->receive_phase(inboxes_[id]);
   }
+
+  // Reset the beat scratch. Delivery moved every payload into an inbox or
+  // back to the pool; observed_ still owns its copies.
+  correct_msgs_.clear();
+  adv_msgs_.clear();
+  recycle(observed_);
 
   ++beat_;
 }
@@ -153,15 +171,19 @@ void Engine::run_beats(std::uint64_t count) {
   for (std::uint64_t i = 0; i < count; ++i) run_beat();
 }
 
-void Engine::deliver(const std::vector<Message>& msgs, bool /*from_adversary*/,
-                     Rng& net_rng, bool network_faulty) {
-  for (const Message& m : msgs) {
-    if (is_faulty_[m.to]) continue;  // faulty inboxes live in the adversary
-    if (network_faulty && cfg_.faults.faulty_drop_prob > 0.0 &&
-        net_rng.next_bernoulli(cfg_.faults.faulty_drop_prob)) {
+void Engine::deliver(std::vector<Message>& msgs, Rng& net_rng,
+                     bool network_faulty) {
+  for (Message& m : msgs) {
+    if (is_faulty_[m.to]) {  // faulty inboxes live in the adversary
+      pool_.release(std::move(m.payload));
       continue;
     }
-    inboxes_[m.to].deliver(m);
+    if (network_faulty && cfg_.faults.faulty_drop_prob > 0.0 &&
+        net_rng.next_bernoulli(cfg_.faults.faulty_drop_prob)) {
+      pool_.release(std::move(m.payload));
+      continue;
+    }
+    inboxes_[m.to].deliver(std::move(m));
   }
 }
 
@@ -176,8 +198,12 @@ void Engine::inject_phantoms(Rng& net_rng) {
       m.to = id;
       m.channel = static_cast<ChannelId>(
           net_rng.next_below(std::max<std::uint32_t>(channel_count_, 1)));
-      const std::size_t len = net_rng.next_below(cfg_.faults.phantom_max_len + 1);
-      m.payload.resize(len);
+      // Widened before the +1: a phantom_max_len at the type's maximum must
+      // not wrap the bound to zero.
+      const std::uint64_t len = net_rng.next_below(
+          static_cast<std::uint64_t>(cfg_.faults.phantom_max_len) + 1);
+      m.payload = pool_.acquire();
+      m.payload.resize(static_cast<std::size_t>(len));
       for (auto& b : m.payload) b = static_cast<std::uint8_t>(net_rng.next_below(256));
       metrics_.count_phantom();
       inboxes_[id].deliver(std::move(m));

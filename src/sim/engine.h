@@ -31,6 +31,9 @@ struct EngineConfig {
   std::vector<NodeId> faulty;
   std::uint64_t seed = 1;
   FaultPlan faults;
+  // 0 = record every beat's traffic; k > 0 = keep only the most recent k
+  // beats (bounded memory, allocation-free steady state).
+  std::size_t metrics_history_limit = 0;
 
   // The highest-id nodes are faulty by default.
   static std::vector<NodeId> last_ids_faulty(std::uint32_t n, std::uint32_t count);
@@ -81,15 +84,18 @@ class Engine {
   void add_listener(BeatListener* l) { listeners_.push_back(l); }
 
  private:
-  void deliver(const std::vector<Message>& msgs, bool from_adversary,
-               Rng& net_rng, bool network_faulty);
+  // Moves each message's payload into the target inbox (or back to the
+  // pool when the message is dropped).
+  void deliver(std::vector<Message>& msgs, Rng& net_rng, bool network_faulty);
   void inject_phantoms(Rng& net_rng);
+  void recycle(std::vector<Message>& msgs);
 
   EngineConfig cfg_;
   Beat beat_ = 0;
   std::vector<bool> is_faulty_;
   std::vector<NodeId> correct_ids_;
   std::vector<std::unique_ptr<Protocol>> protocols_;  // null for faulty ids
+  BytesPool pool_;  // owns recycled payload storage; declared before users
   std::vector<Inbox> inboxes_;                        // per node id
   std::unique_ptr<Adversary> adversary_;
   std::uint32_t channel_count_ = 0;
@@ -98,6 +104,11 @@ class Engine {
   Rng net_rng_;
   Metrics metrics_;
   std::vector<BeatListener*> listeners_;
+  // Persistent per-beat scratch: cleared every beat, capacity retained.
+  Outbox outbox_{0, 0, &pool_};
+  std::vector<Message> correct_msgs_;
+  std::vector<Message> adv_msgs_;
+  std::vector<Message> observed_;
 };
 
 }  // namespace ssbft

@@ -10,6 +10,7 @@
 #include <map>
 #include <vector>
 
+#include "support/check.h"
 #include "support/types.h"
 
 namespace ssbft {
@@ -33,6 +34,23 @@ struct FaultPlan {
   std::uint32_t phantom_max_len = 64;
   // Probability that a real message is dropped during a faulty-network beat.
   double faulty_drop_prob = 0.0;
+
+  // Largest phantom payload a plan may ask for (1 MiB). Far beyond any
+  // protocol's real message size, yet small enough that the sampling bound
+  // `phantom_max_len + 1` (computed in 64 bits — the engine widens before
+  // the increment, so even the type's maximum cannot wrap the bound to
+  // zero) never asks the simulator for a pathological allocation.
+  static constexpr std::uint32_t kMaxPhantomLen = 1u << 20;
+
+  // Engine-checked sanity of the plan.
+  void validate() const {
+    SSBFT_REQUIRE_MSG(faulty_drop_prob >= 0.0 && faulty_drop_prob <= 1.0,
+                      "faulty_drop_prob must be a probability");
+    SSBFT_REQUIRE_MSG(phantom_max_len <= kMaxPhantomLen,
+                      "phantom_max_len " << phantom_max_len
+                                         << " exceeds the sane bound "
+                                         << kMaxPhantomLen);
+  }
 };
 
 }  // namespace ssbft

@@ -1,45 +1,147 @@
 #include "sim/message.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "support/check.h"
 
 namespace ssbft {
 
-void Outbox::send(NodeId to, ChannelId channel, Bytes payload) {
+Bytes BytesPool::acquire() {
+  if (free_.empty()) return Bytes{};
+  Bytes b = std::move(free_.back());
+  free_.pop_back();
+  return b;
+}
+
+void BytesPool::release(Bytes&& b) {
+  if (b.capacity() == 0) return;  // nothing worth keeping
+  b.clear();
+  free_.push_back(std::move(b));
+}
+
+void Outbox::send(NodeId to, ChannelId channel, const Bytes& payload) {
   SSBFT_REQUIRE_MSG(to < n_, "send target out of range");
-  msgs_.push_back(Message{self_, to, channel, std::move(payload)});
+  Bytes b = pool().acquire();
+  b.assign(payload.begin(), payload.end());
+  ++sent_messages_;
+  sent_bytes_ += payload.size();
+  sink_->push_back(Message{self_, to, channel, std::move(b)});
 }
 
 void Outbox::broadcast(ChannelId channel, const Bytes& payload) {
+  sent_messages_ += n_;
+  sent_bytes_ += std::uint64_t{payload.size()} * n_;
   for (NodeId to = 0; to < n_; ++to) {
-    msgs_.push_back(Message{self_, to, channel, payload});
+    Bytes b = pool().acquire();
+    b.assign(payload.begin(), payload.end());
+    sink_->push_back(Message{self_, to, channel, std::move(b)});
   }
 }
 
-Inbox::Inbox(std::uint32_t n, std::uint32_t max_channels)
-    : n_(n), by_channel_(max_channels) {}
+void Outbox::clear() {
+  for (Message& m : *sink_) pool().release(std::move(m.payload));
+  sink_->clear();
+  sent_messages_ = 0;
+  sent_bytes_ = 0;
+}
+
+Inbox::Inbox(std::uint32_t n, std::uint32_t max_channels, BytesPool* pool)
+    : n_(n),
+      max_channels_(max_channels),
+      external_pool_(pool),
+      count_(max_channels, 0),
+      offset_(max_channels, 0),
+      cursor_(max_channels, 0),
+      first_(std::size_t{max_channels} * n, nullptr),
+      null_row_(n, nullptr) {}
 
 void Inbox::deliver(Message m) {
-  if (m.channel >= by_channel_.size()) return;  // unknown stream: dropped
-  by_channel_[m.channel].push_back(std::move(m));
+  if (m.channel >= max_channels_) {  // unknown stream: dropped
+    pool().release(std::move(m.payload));
+    return;
+  }
+  sealed_ = false;  // a later read re-buckets
+  staged_.push_back(std::move(m));
 }
 
 void Inbox::clear() {
-  for (auto& v : by_channel_) v.clear();
+  for (Message& m : staged_) pool().release(std::move(m.payload));
+  staged_.clear();
+  sealed_ = false;
 }
 
-const std::vector<Message>& Inbox::on(ChannelId channel) const {
-  if (channel >= by_channel_.size()) return overflow_discard_;
-  return by_channel_[channel];
-}
+// Bucket the staged messages' indices into the flat order array and
+// canonicalize each bucket. Messages stay put; only 4-byte indices move.
+// Cost is proportional to this beat's traffic plus the channels touched
+// last beat (their per-channel state is reset here).
+void Inbox::seal() const {
+  if (sealed_) return;
+  sealed_ = true;
 
-std::vector<const Bytes*> Inbox::first_per_sender(ChannelId channel) const {
-  std::vector<const Bytes*> out(n_, nullptr);
-  for (const Message& m : on(channel)) {
-    if (m.from < n_ && out[m.from] == nullptr) out[m.from] = &m.payload;
+  // Reset the previous beat's per-channel state.
+  for (ChannelId ch : touched_) {
+    count_[ch] = 0;
+    std::fill_n(first_.begin() + std::size_t{ch} * n_, n_, nullptr);
   }
-  return out;
+  touched_.clear();
+
+  // Count per channel; remember which channels carry traffic.
+  for (const Message& m : staged_) {
+    if (count_[m.channel]++ == 0) touched_.push_back(m.channel);
+  }
+
+  // Prefix offsets over the touched channels (bucket order in order_ is
+  // the order channels first appeared; reads only ever use offset+count).
+  std::uint32_t acc = 0;
+  for (ChannelId ch : touched_) {
+    offset_[ch] = acc;
+    cursor_[ch] = acc;
+    acc += count_[ch];
+  }
+
+  // Stable counting placement of indices into the flat array.
+  order_.resize(staged_.size());
+  for (std::uint32_t i = 0; i < staged_.size(); ++i) {
+    order_[cursor_[staged_[i].channel]++] = i;
+  }
+
+  // Canonical order within each bucket: sender id, stable (duplicates keep
+  // arrival order — equal keys never shift). Insertion sort is in-place
+  // and allocation-free; buckets are near-sorted already (correct senders
+  // arrive in id order, Byzantine/phantom stragglers follow).
+  const Message* const msgs = staged_.data();
+  for (ChannelId ch : touched_) {
+    std::uint32_t* const b = order_.data() + offset_[ch];
+    const std::uint32_t len = count_[ch];
+    for (std::uint32_t i = 1; i < len; ++i) {
+      const std::uint32_t idx = b[i];
+      const NodeId key = msgs[idx].from;
+      std::uint32_t j = i;
+      for (; j > 0 && msgs[b[j - 1]].from > key; --j) b[j] = b[j - 1];
+      b[j] = idx;
+    }
+    // First-per-sender table: one pass in canonical order.
+    const Bytes** row = first_.data() + std::size_t{ch} * n_;
+    for (std::uint32_t i = 0; i < len; ++i) {
+      const Message& m = msgs[b[i]];
+      if (m.from < n_ && row[m.from] == nullptr) row[m.from] = &m.payload;
+    }
+  }
+}
+
+MessageView Inbox::on(ChannelId channel) const {
+  if (channel >= max_channels_) return MessageView{};
+  seal();
+  if (count_[channel] == 0) return MessageView{};
+  return MessageView{staged_.data(), order_.data() + offset_[channel],
+                     count_[channel]};
+}
+
+PayloadView Inbox::first_per_sender(ChannelId channel) const {
+  if (channel >= max_channels_) return PayloadView{null_row_.data(), n_};
+  seal();
+  return PayloadView{first_.data() + std::size_t{channel} * n_, n_};
 }
 
 }  // namespace ssbft

@@ -6,6 +6,35 @@
 // the paper's "session number" device made static: only a fixed window of
 // sub-protocol instances co-execute, so a fixed channel space suffices and
 // is trivially recyclable (self-stabilization needs no unbounded counters).
+//
+// Bytes-pool ownership rules
+// --------------------------
+// Every payload buffer that flows through the beat loop is owned by exactly
+// one of three parties at any time, and storage cycles between them through
+// a BytesPool so the steady-state beat performs no heap allocation:
+//
+//   1. The pool itself. `acquire()` hands out an *empty* buffer (capacity
+//      retained from earlier use); `release()` takes a buffer back, clears
+//      its content, and keeps its capacity. Capacity-less buffers are
+//      dropped on release — pooling them would grow the free list with
+//      entries that save nothing.
+//   2. A Message in flight. Outbox::send/broadcast and
+//      AdversaryContext::send copy the caller's payload into a pooled
+//      buffer, so the caller always keeps ownership of what it passed in
+//      (a ByteWriter's scratch may be reused immediately). The engine moves
+//      in-flight messages from the outbox into its per-beat scratch and
+//      from there into inboxes; a message that is dropped (faulty target,
+//      lossy network, unknown channel) releases its payload back to the
+//      pool at the drop site.
+//   3. An Inbox. Delivered payloads are owned by the inbox until its next
+//      `clear()`, which releases them all back to the pool. Views returned
+//      by `on()` / `first_per_sender()` borrow from the inbox and are
+//      invalidated by `deliver()` and `clear()`.
+//
+// An Outbox/Inbox constructed without an external pool owns a private one,
+// so standalone use (tests, harnesses) needs no extra plumbing. A shared
+// pool must outlive every Outbox/Inbox bound to it; the Engine owns the
+// pool and all of its users, in that order.
 #pragma once
 
 #include <cstdint>
@@ -23,51 +52,192 @@ struct Message {
   Bytes payload;
 };
 
+// Free list of payload buffers. Not thread-safe; one pool per engine.
+class BytesPool {
+ public:
+  // An empty buffer, reusing pooled capacity when available.
+  Bytes acquire();
+  // Returns a buffer's storage to the pool. Content is discarded;
+  // capacity-less buffers are dropped.
+  void release(Bytes&& b);
+  // Buffers currently sitting in the free list.
+  std::size_t free_count() const { return free_.size(); }
+
+ private:
+  std::vector<Bytes> free_;
+};
+
+// Borrowed view of one channel bucket: a contiguous run of indices into
+// the inbox's arrival-order message store. Iteration order is canonical
+// (sender id, then arrival order); messages themselves are never moved.
+class MessageView {
+ public:
+  class iterator {
+   public:
+    iterator(const Message* base, const std::uint32_t* idx)
+        : base_(base), idx_(idx) {}
+    const Message& operator*() const { return base_[*idx_]; }
+    const Message* operator->() const { return &base_[*idx_]; }
+    iterator& operator++() {
+      ++idx_;
+      return *this;
+    }
+    bool operator==(const iterator& o) const { return idx_ == o.idx_; }
+    bool operator!=(const iterator& o) const { return idx_ != o.idx_; }
+
+   private:
+    const Message* base_;
+    const std::uint32_t* idx_;
+  };
+
+  MessageView() = default;
+  MessageView(const Message* base, const std::uint32_t* idx, std::size_t size)
+      : base_(base), idx_(idx), size_(size) {}
+
+  iterator begin() const { return iterator{base_, idx_}; }
+  iterator end() const { return iterator{base_, idx_ + size_}; }
+  const Message& operator[](std::size_t i) const { return base_[idx_[i]]; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  const Message* base_ = nullptr;
+  const std::uint32_t* idx_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+// Borrowed per-sender payload table: entry s is null if sender s sent
+// nothing valid on the channel.
+class PayloadView {
+ public:
+  PayloadView() = default;
+  PayloadView(const Bytes* const* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  const Bytes* const* begin() const { return data_; }
+  const Bytes* const* end() const { return data_ + size_; }
+  const Bytes* operator[](std::size_t i) const { return data_[i]; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  const Bytes* const* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
 // Collects a node's sends during its send phase. The engine enforces the
-// sender identity (Definition 2.2: sender ids cannot be forged).
+// sender identity (Definition 2.2: sender ids cannot be forged). One Outbox
+// is reused across all nodes and beats: `reset()` rebinds the sender. The
+// engine binds the outbox to its own per-beat message vector (`bind_sink`),
+// so sends land directly in the beat scratch with no drain pass; standalone
+// outboxes collect into an internal vector.
 class Outbox {
  public:
-  Outbox(NodeId self, std::uint32_t n) : self_(self), n_(n) {}
+  Outbox(NodeId self, std::uint32_t n, BytesPool* pool = nullptr)
+      : self_(self), n_(n), external_pool_(pool), sink_(&owned_msgs_) {}
 
-  // Point-to-point send.
-  void send(NodeId to, ChannelId channel, Bytes payload);
+  // Redirect sends into an external vector (the engine's beat scratch).
+  // Pass null to return to the internal vector.
+  void bind_sink(std::vector<Message>* sink) {
+    sink_ = sink != nullptr ? sink : &owned_msgs_;
+  }
+
+  // Rebind to a new sender and restart this sender's traffic accounting.
+  // Messages already in the sink are left in place (the engine owns them).
+  void reset(NodeId self) {
+    self_ = self;
+    if (sink_ == &owned_msgs_) owned_msgs_.clear();
+    sent_messages_ = 0;
+    sent_bytes_ = 0;
+  }
+
+  // A cleared, reusable payload builder. Valid until the next writer()
+  // call; send/broadcast copy the payload, so the writer may be reused
+  // immediately afterwards.
+  ByteWriter& writer() {
+    writer_.clear();
+    return writer_;
+  }
+
+  // Point-to-point send. The payload is copied into pooled storage.
+  void send(NodeId to, ChannelId channel, const Bytes& payload);
   // "Broadcast" in the paper's sense: send the same payload to all n nodes,
   // including self (no broadcast channels are assumed).
   void broadcast(ChannelId channel, const Bytes& payload);
 
-  const std::vector<Message>& messages() const { return msgs_; }
-  std::vector<Message> take() { return std::move(msgs_); }
-  void clear() { msgs_.clear(); }
+  // Messages and payload bytes emitted since the last reset().
+  std::uint64_t sent_messages() const { return sent_messages_; }
+  std::uint64_t sent_bytes() const { return sent_bytes_; }
+
+  const std::vector<Message>& messages() const { return *sink_; }
+  // Releases all payloads back to the pool and forgets the messages.
+  void clear();
 
  private:
+  BytesPool& pool() { return external_pool_ ? *external_pool_ : owned_pool_; }
+
   NodeId self_;
   std::uint32_t n_;
-  std::vector<Message> msgs_;
+  BytesPool* external_pool_;
+  BytesPool owned_pool_;
+  ByteWriter writer_;
+  std::vector<Message> owned_msgs_;
+  std::vector<Message>* sink_;
+  std::uint64_t sent_messages_ = 0;
+  std::uint64_t sent_bytes_ = 0;
 };
 
 // A node's view of the messages delivered to it during one beat.
+//
+// Storage is a flat bucket layout: delivered messages live in one
+// arrival-order array; on first read a flat index array is bucketed by
+// channel and canonically ordered by sender id within each bucket (stable,
+// so duplicates keep arrival order). Messages are moved in exactly once
+// and never again. All per-beat state keeps its capacity across `clear()`,
+// so a steady-state beat touches the allocator not at all.
 class Inbox {
  public:
-  Inbox(std::uint32_t n, std::uint32_t max_channels);
+  Inbox(std::uint32_t n, std::uint32_t max_channels, BytesPool* pool = nullptr);
 
+  // Takes ownership of the message (payload storage included). Messages on
+  // unknown channels are dropped and their payloads recycled.
   void deliver(Message m);
+  // Releases all payloads to the pool; keeps every buffer's capacity.
   void clear();
 
   // All messages on a channel, ordered by sender id (then arrival order for
-  // duplicates). Channels out of range return an empty vector.
-  const std::vector<Message>& on(ChannelId channel) const;
+  // duplicates). Channels out of range return an empty view. The view is
+  // invalidated by deliver() and clear().
+  MessageView on(ChannelId channel) const;
 
   // At most one payload per sender on a channel: the first message each
   // sender delivered. Index s is null if sender s sent nothing valid.
   // Byzantine duplicate floods therefore count once, deterministically.
-  std::vector<const Bytes*> first_per_sender(ChannelId channel) const;
+  // The view is invalidated by deliver() and clear().
+  PayloadView first_per_sender(ChannelId channel) const;
 
   std::uint32_t node_count() const { return n_; }
 
  private:
+  BytesPool& pool() { return external_pool_ ? *external_pool_ : owned_pool_; }
+  void seal() const;  // bucket + canonicalize the index array
+
   std::uint32_t n_;
-  std::vector<std::vector<Message>> by_channel_;
-  std::vector<Message> overflow_discard_;  // canonical empty vector storage
+  std::uint32_t max_channels_;
+  BytesPool* external_pool_;
+  BytesPool owned_pool_;
+
+  std::vector<Message> staged_;  // arrival order; sole owner of payloads
+
+  // Mutable: seal() runs lazily from the const read accessors.
+  mutable bool sealed_ = false;
+  mutable std::vector<std::uint32_t> order_;   // flat channel buckets (indices)
+  mutable std::vector<std::uint32_t> count_;   // per channel
+  mutable std::vector<std::uint32_t> offset_;  // per channel, into order_
+  mutable std::vector<std::uint32_t> cursor_;  // scratch for bucketing
+  mutable std::vector<ChannelId> touched_;     // channels with count > 0
+  mutable std::vector<const Bytes*> first_;    // max_channels x n table
+  std::vector<const Bytes*> null_row_;         // n nulls, for empty channels
 };
 
 }  // namespace ssbft

@@ -1,38 +1,94 @@
 #include "sim/metrics.h"
 
+#include "support/check.h"
+
 namespace ssbft {
 
-void Metrics::begin_beat() { history_.emplace_back(); }
+Metrics::Metrics(std::size_t history_limit) : limit_(history_limit) {
+  if (limit_ > 0) history_.reserve(limit_);
+}
+
+void Metrics::begin_beat() {
+  ++beats_;
+  if (limit_ == 0) {
+    history_.emplace_back();
+  } else if (history_.size() < limit_) {
+    history_.emplace_back();
+  } else {
+    history_[static_cast<std::size_t>((beats_ - 1) % limit_)] = BeatTraffic{};
+  }
+}
+
+BeatTraffic& Metrics::current() {
+  SSBFT_REQUIRE_MSG(beats_ > 0, "Metrics::count_* before begin_beat()");
+  if (limit_ == 0) return history_.back();
+  return history_[static_cast<std::size_t>((beats_ - 1) % limit_)];
+}
 
 void Metrics::count_correct(std::size_t payload_bytes) {
-  ++history_.back().correct_messages;
-  history_.back().correct_bytes += payload_bytes;
+  BeatTraffic& cur = current();
+  ++cur.correct_messages;
+  cur.correct_bytes += payload_bytes;
   ++total_.correct_messages;
   total_.correct_bytes += payload_bytes;
 }
 
 void Metrics::count_adversary(std::size_t payload_bytes) {
-  ++history_.back().adversary_messages;
-  history_.back().adversary_bytes += payload_bytes;
+  BeatTraffic& cur = current();
+  ++cur.adversary_messages;
+  cur.adversary_bytes += payload_bytes;
   ++total_.adversary_messages;
   total_.adversary_bytes += payload_bytes;
 }
 
 void Metrics::count_phantom() {
-  ++history_.back().phantom_messages;
+  ++current().phantom_messages;
   ++total_.phantom_messages;
 }
 
+void Metrics::count_correct_bulk(std::uint64_t messages, std::uint64_t bytes) {
+  BeatTraffic& cur = current();
+  cur.correct_messages += messages;
+  cur.correct_bytes += bytes;
+  total_.correct_messages += messages;
+  total_.correct_bytes += bytes;
+}
+
+void Metrics::count_adversary_bulk(std::uint64_t messages,
+                                   std::uint64_t bytes) {
+  BeatTraffic& cur = current();
+  cur.adversary_messages += messages;
+  cur.adversary_bytes += bytes;
+  total_.adversary_messages += messages;
+  total_.adversary_bytes += bytes;
+}
+
+const std::vector<BeatTraffic>& Metrics::history() const {
+  SSBFT_REQUIRE_MSG(limit_ == 0,
+                    "full history() is unavailable with a bounded ring; use "
+                    "retained_count()/retained()");
+  return history_;
+}
+
+std::size_t Metrics::retained_count() const { return history_.size(); }
+
+const BeatTraffic& Metrics::retained(std::size_t i) const {
+  SSBFT_REQUIRE(i < history_.size());
+  if (limit_ == 0 || history_.size() < limit_) return history_[i];
+  // Ring is full: index 0 is the oldest retained beat.
+  return history_[static_cast<std::size_t>((beats_ + i) % limit_)];
+}
+
 double Metrics::mean_correct_messages_per_beat() const {
-  if (history_.empty()) return 0.0;
+  if (beats_ == 0) return 0.0;
   return static_cast<double>(total_.correct_messages) /
-         static_cast<double>(history_.size());
+         static_cast<double>(beats_);
 }
 
 double Metrics::mean_correct_bytes_per_beat() const {
-  if (history_.empty()) return 0.0;
+  if (beats_ == 0) return 0.0;
   return static_cast<double>(total_.correct_bytes) /
-         static_cast<double>(history_.size());
+         static_cast<double>(beats_);
 }
 
 }  // namespace ssbft

@@ -31,6 +31,9 @@ class ByteWriter {
   const Bytes& data() const& { return buf_; }
   Bytes take() && { return std::move(buf_); }
   std::size_t size() const { return buf_.size(); }
+  // Drops the content but keeps the buffer's capacity, so a long-lived
+  // writer can build payloads beat after beat without reallocating.
+  void clear() { buf_.clear(); }
 
  private:
   Bytes buf_;

@@ -2,9 +2,11 @@
 // fault injection, metrics, and determinism.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "adversary/adversaries.h"
+#include "harness/convergence.h"
 #include "sim/engine.h"
 #include "support/check.h"
 
@@ -91,6 +93,46 @@ TEST(Inbox, RoutesByChannelAndDropsUnknown) {
   EXPECT_EQ(in.on(0).size(), 1u);
   EXPECT_EQ(in.on(1).size(), 1u);
   EXPECT_TRUE(in.on(7).empty());
+}
+
+TEST(Inbox, OrderedBySenderIdRegardlessOfArrival) {
+  Inbox in(4, 1);
+  in.deliver({2, 0, 0, {0x22}});
+  in.deliver({3, 0, 0, {0x33}});
+  in.deliver({0, 0, 0, {0x00}});  // low-id sender arriving last (e.g. faulty)
+  in.deliver({2, 0, 0, {0x99}});  // duplicate: keeps arrival order within 2
+  const auto msgs = in.on(0);
+  ASSERT_EQ(msgs.size(), 4u);
+  EXPECT_EQ(msgs[0].from, 0u);
+  EXPECT_EQ(msgs[1].from, 2u);
+  EXPECT_EQ(msgs[1].payload[0], 0x22);
+  EXPECT_EQ(msgs[2].from, 2u);
+  EXPECT_EQ(msgs[2].payload[0], 0x99);
+  EXPECT_EQ(msgs[3].from, 3u);
+}
+
+TEST(Inbox, DeliverAfterReadReopensTheBeat) {
+  Inbox in(3, 1);
+  in.deliver({1, 0, 0, {0x11}});
+  EXPECT_EQ(in.on(0).size(), 1u);  // forces the lazy seal
+  in.deliver({0, 0, 0, {0x01}});
+  const auto msgs = in.on(0);
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(msgs[0].from, 0u);  // still canonical after the re-open
+  EXPECT_EQ(msgs[1].from, 1u);
+}
+
+TEST(Inbox, ClearKeepsWorking) {
+  Inbox in(2, 2);
+  in.deliver({0, 1, 0, {0xaa}});
+  EXPECT_EQ(in.on(0).size(), 1u);
+  in.clear();
+  EXPECT_TRUE(in.on(0).empty());
+  EXPECT_EQ(in.first_per_sender(0)[0], nullptr);
+  in.deliver({1, 1, 1, {0xbb}});
+  EXPECT_TRUE(in.on(0).empty());
+  ASSERT_EQ(in.on(1).size(), 1u);
+  EXPECT_EQ(in.on(1)[0].payload[0], 0xbb);
 }
 
 TEST(Inbox, FirstPerSenderDeduplicates) {
@@ -183,6 +225,24 @@ TEST(Engine, AdversaryMessagesAreDelivered) {
   EXPECT_EQ(p.last_payload_count_, 4u);  // 3 correct + 1 adversary
 }
 
+// Regression for the ordering-contract violation: adversary messages used
+// to be appended after all correct messages, so a low-id faulty sender
+// sorted after high-id correct senders in Inbox::on().
+TEST(Engine, LowIdFaultySenderSortsFirst) {
+  EngineConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+  cfg.faulty = {0};  // the *lowest* id is Byzantine
+  cfg.faults.randomize_genesis = false;
+  auto eng = Engine(cfg, echo_factory(),
+                    std::make_unique<ObservingAdversary>());
+  eng.run_beat();
+  const auto& p = dynamic_cast<const EchoProtocol&>(eng.node(1));
+  // Channel 0 carries the three correct broadcasts plus the adversary's
+  // message from node 0, canonically ordered by sender id.
+  EXPECT_EQ(p.last_senders_, (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
 TEST(Engine, ScheduledCorruptionFires) {
   EngineConfig cfg = basic_config(4, 0);
   cfg.faults.corruptions[2] = {1};
@@ -231,6 +291,79 @@ TEST(Engine, FaultyNetworkCanDropMessages) {
   for (NodeId id : eng.correct_ids()) {
     EXPECT_EQ(dynamic_cast<const EchoProtocol&>(eng.node(id)).last_payload_count_, 6u);
   }
+}
+
+TEST(Engine, PhantomMaxLenAtTypeMaxIsRejectedByPlanValidation) {
+  EngineConfig cfg = basic_config(3, 0);
+  cfg.faults.network_faulty_until = 2;
+  cfg.faults.phantoms_per_beat = 1;
+  // Would make the sampling bound `phantom_max_len + 1` wrap to zero if
+  // the engine computed it in 32 bits; plan validation rejects it outright.
+  cfg.faults.phantom_max_len = std::numeric_limits<std::uint32_t>::max();
+  EXPECT_THROW(Engine(cfg, echo_factory(), nullptr), contract_error);
+}
+
+TEST(Engine, PhantomMaxLenAtSaneBoundRuns) {
+  EngineConfig cfg = basic_config(3, 0);
+  cfg.faults.network_faulty_until = 1;
+  cfg.faults.phantoms_per_beat = 1;
+  cfg.faults.phantom_max_len = FaultPlan::kMaxPhantomLen;
+  auto eng = Engine(cfg, echo_factory(), nullptr);
+  eng.run_beat();  // must not throw (bound is widened before the +1)
+  EXPECT_EQ(eng.metrics().total().phantom_messages, 3u);
+}
+
+TEST(Engine, InvalidDropProbabilityIsRejected) {
+  EngineConfig cfg = basic_config(3, 0);
+  cfg.faults.faulty_drop_prob = 1.5;
+  EXPECT_THROW(Engine(cfg, echo_factory(), nullptr), contract_error);
+}
+
+TEST(Convergence, RejectsZeroConfirmWindow) {
+  // With confirm_window = 0, `streak >= confirm_window` holds after the
+  // very first beat and convergence would be declared unconditionally.
+  auto eng = Engine(basic_config(4, 0), echo_factory(), nullptr);
+  ConvergenceConfig cfg;
+  cfg.confirm_window = 0;
+  EXPECT_THROW(measure_convergence(eng, cfg), contract_error);
+}
+
+TEST(Metrics, CountBeforeBeginBeatIsContractError) {
+  Metrics m;
+  EXPECT_THROW(m.count_correct(1), contract_error);
+  EXPECT_THROW(m.count_adversary(1), contract_error);
+  EXPECT_THROW(m.count_phantom(), contract_error);
+  EXPECT_THROW(m.count_correct_bulk(2, 8), contract_error);
+}
+
+TEST(Metrics, BoundedRingKeepsRecentBeats) {
+  Metrics m(2);
+  m.begin_beat();
+  m.count_correct(1);
+  m.begin_beat();
+  m.count_correct(2);
+  m.begin_beat();
+  m.count_correct(4);
+  EXPECT_EQ(m.beats_recorded(), 3u);
+  ASSERT_EQ(m.retained_count(), 2u);
+  EXPECT_EQ(m.retained(0).correct_bytes, 2u);  // oldest retained = beat 1
+  EXPECT_EQ(m.retained(1).correct_bytes, 4u);
+  EXPECT_THROW(m.history(), contract_error);  // full history unavailable
+  // Totals and means still cover the whole run.
+  EXPECT_EQ(m.total().correct_bytes, 7u);
+  EXPECT_DOUBLE_EQ(m.mean_correct_bytes_per_beat(), 7.0 / 3.0);
+}
+
+TEST(Engine, BoundedMetricsHistoryStopsGrowing) {
+  EngineConfig cfg = basic_config(3, 0);
+  cfg.metrics_history_limit = 4;
+  auto eng = Engine(cfg, echo_factory(), nullptr);
+  eng.run_beats(10);
+  EXPECT_EQ(eng.metrics().retained_count(), 4u);
+  EXPECT_EQ(eng.metrics().beats_recorded(), 10u);
+  EXPECT_EQ(eng.metrics().total().correct_messages, 10u * 9u);
+  // The retained window holds the most recent beats' traffic.
+  EXPECT_EQ(eng.metrics().retained(3).correct_messages, 9u);
 }
 
 TEST(Metrics, EmptyHistoryMeansZero) {
