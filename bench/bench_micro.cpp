@@ -38,6 +38,84 @@ void BM_FieldInv(benchmark::State& state) {
 }
 BENCHMARK(BM_FieldInv);
 
+// --- Field batch-kernel benchmarks ------------------------------------------
+//
+// The kernels behind the FM coin's share-matrix arithmetic. CI smokes these
+// together with BM_FullStackBeat (filter BM_FieldKernels|BM_FullStackBeat)
+// so the perf path cannot rot silently.
+
+void BM_FieldKernels_MulVec(benchmark::State& state) {
+  PrimeField F;
+  Rng rng(21);
+  const auto len = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> a(len), b(len), out(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    a[i] = F.uniform(rng);
+    b[i] = F.uniform(rng);
+  }
+  for (auto _ : state) {
+    F.mul_vec(a.data(), b.data(), out.data(), len);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_FieldKernels_MulVec)->Arg(64)->Arg(1024);
+
+void BM_FieldKernels_BatchInv(benchmark::State& state) {
+  PrimeField F;
+  Rng rng(22);
+  const auto len = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> vals(len), scratch(len);
+  for (auto& v : vals) v = F.uniform_nonzero(rng);
+  for (auto _ : state) {
+    // Involution: inverting twice restores the inputs, so the working set
+    // stays nonzero across iterations.
+    F.batch_inv(vals.data(), len, scratch.data());
+    benchmark::DoNotOptimize(vals.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_FieldKernels_BatchInv)->Arg(16)->Arg(256);
+
+void BM_FieldKernels_EvalMany(benchmark::State& state) {
+  PrimeField F;
+  Rng rng(23);
+  const auto deg = static_cast<int>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  Poly p = Poly::random(F, deg, rng);
+  std::vector<std::uint64_t> xs(m), out(m);
+  for (auto& x : xs) x = F.uniform(rng);
+  for (auto _ : state) {
+    F.eval_many(p.coeffs().data(), p.coeffs().size(), xs.data(), m,
+                out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_FieldKernels_EvalMany)
+    ->ArgNames({"deg", "pts"})
+    ->Args({2, 16})->Args({4, 64})->Args({8, 64});
+
+void BM_FieldKernels_ScalarInv(benchmark::State& state) {
+  // Extended-Euclid scalar inverse (the batch path amortizes this away;
+  // kept visible so regressions in the scalar route are caught too).
+  PrimeField F;
+  Rng rng(24);
+  std::uint64_t a = F.uniform_nonzero(rng);
+  for (auto _ : state) {
+    a = F.inv(a);
+    benchmark::DoNotOptimize(a);
+    if (a == 0) a = 1;
+  }
+}
+BENCHMARK(BM_FieldKernels_ScalarInv);
+
 void BM_PolyEval(benchmark::State& state) {
   PrimeField F;
   Rng rng(3);

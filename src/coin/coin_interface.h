@@ -46,6 +46,13 @@ class CoinInstance {
   // The coin (valid only after the final receive_round).
   virtual bool output() const = 0;
 
+  // Re-initializes to the state a freshly constructed instance would have,
+  // reusing existing storage. The pipeline retires its oldest instance
+  // every beat by reinit-ing it in place instead of reallocating, so the
+  // steady-state beat never touches the heap. `rng` plays the role of the
+  // constructor's rng argument.
+  virtual void reinit(Rng rng) = 0;
+
   // Transient fault injection.
   virtual void randomize_state(Rng& rng) = 0;
 };

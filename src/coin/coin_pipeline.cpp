@@ -34,11 +34,15 @@ bool SsByzCoinFlip::receive_phase(const Inbox& in) {
         j + 1, in, static_cast<ChannelId>(base_ + j));
   }
   const bool bit = slots_.back()->output();
-  // Figure 1 lines 3-4: shift the pipeline and admit a fresh instance.
+  // Figure 1 lines 3-4: shift the pipeline and admit a fresh instance. The
+  // retired instance is recycled in place (same rng derivation as a
+  // factory-made one), so the steady-state beat allocates nothing.
+  std::unique_ptr<CoinInstance> retired = std::move(slots_.back());
   for (std::size_t j = slots_.size() - 1; j > 0; --j) {
     slots_[j] = std::move(slots_[j - 1]);
   }
-  slots_[0] = fresh_instance();
+  retired->reinit(rng_.split("instance", rng_.next_u64()));
+  slots_[0] = std::move(retired);
   return bit;
 }
 

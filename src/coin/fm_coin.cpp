@@ -1,6 +1,9 @@
 #include "coin/fm_coin.h"
 
+#include <algorithm>
+
 #include "coin/coin_pipeline.h"
+#include "support/bitwords.h"
 #include "support/check.h"
 
 namespace ssbft {
@@ -11,39 +14,59 @@ namespace {
 // itself, which can never be a canonical element.
 std::uint64_t sentinel(const PrimeField& F) { return F.modulus(); }
 
-std::vector<std::uint64_t> pack_bits(const std::vector<bool>& bits) {
-  std::vector<std::uint64_t> words((bits.size() + 63) / 64, 0);
-  for (std::size_t i = 0; i < bits.size(); ++i) {
-    if (bits[i]) words[i / 64] |= std::uint64_t{1} << (i % 64);
-  }
-  return words;
-}
-
-std::vector<bool> unpack_bits(const std::vector<std::uint64_t>& words,
-                              std::size_t count) {
-  std::vector<bool> bits(count, false);
-  for (std::size_t i = 0; i < count; ++i) {
-    const std::size_t w = i / 64;
-    if (w < words.size()) bits[i] = (words[w] >> (i % 64)) & 1;
-  }
-  return bits;
-}
-
 }  // namespace
 
+void FmCoinScratch::ensure(const PrimeField& F, std::uint32_t n_nodes,
+                           std::uint32_t faults) {
+  if (modulus == F.modulus() && n == n_nodes && f == faults) return;
+  modulus = F.modulus();
+  n = n_nodes;
+  f = faults;
+  points.resize(n);
+  for (NodeId j = 0; j < n; ++j) points[j] = node_point(j);
+  row_buf.assign(std::size_t{f} + 1, 0);
+  vals.assign(n, 0);
+  shares.assign(std::size_t{n} * n, 0);
+  shares_ok.assign(n, 0);
+  votes.assign(n, 0);
+  pts.clear();
+  pts.reserve(n);
+  table.init(F, n, f);
+}
+
 FmCoinInstance::FmCoinInstance(const ProtocolEnv& env,
-                               const FmCoinParams& params, Rng rng)
+                               const FmCoinParams& params, Rng rng,
+                               std::shared_ptr<FmCoinScratch> scratch)
     : env_(env),
       field_(params.resolve_prime()),
       rng_(rng),
       dealing_(GvssDealing::sample(field_, env.f, rng_)),
-      rows_(env.n),
+      scratch_(scratch != nullptr ? std::move(scratch)
+                                  : std::make_shared<FmCoinScratch>()),
+      words_(bitword_count(env.n)),
+      row_valid_(env.n, 0),
+      row_evals_(std::size_t{env.n} * (env.n + 1), 0),
       cross_matches_(env.n, 0),
-      happy_(env.n, false),
-      voted_happy_(env.n),
+      happy_words_(words_, 0),
+      voted_words_(std::size_t{env.n} * words_, 0),
+      vote_valid_(env.n, 0),
       grades_(env.n, GvssGrade::kNone) {
   SSBFT_REQUIRE_MSG(field_.modulus() > env.n,
                     "coin field must have modulus > n (Remark 2.3)");
+  scratch_->ensure(field_, env_.n, env_.f);
+}
+
+void FmCoinInstance::reinit(Rng rng) {
+  // Mirrors construction (same rng draw order as the ctor's dealing
+  // sample), but every buffer is reused in place.
+  rng_ = rng;
+  dealing_.resample(field_, env_.f, rng_);
+  std::fill(row_valid_.begin(), row_valid_.end(), 0);
+  std::fill(cross_matches_.begin(), cross_matches_.end(), 0);
+  std::fill(happy_words_.begin(), happy_words_.end(), 0);
+  std::fill(vote_valid_.begin(), vote_valid_.end(), 0);
+  std::fill(grades_.begin(), grades_.end(), GvssGrade::kNone);
+  output_bit_ = false;
 }
 
 void FmCoinInstance::send_round(int round, Outbox& out, ChannelId base) {
@@ -71,22 +94,33 @@ void FmCoinInstance::receive_round(int round, const Inbox& in,
 
 // Round 1 — share phase: as dealer, send node j its row F(x_j, y).
 void FmCoinInstance::send_deal(Outbox& out, ChannelId ch) {
+  const std::size_t width = std::size_t{env_.f} + 1;
   for (NodeId j = 0; j < env_.n; ++j) {
+    dealing_.row_into(field_, j, scratch_->row_buf.data());
     ByteWriter& w = out.writer();
-    w.u64_vec(dealing_.row_for(field_, j));
+    w.u64_vec(scratch_->row_buf.data(), width);
     out.send(j, ch, w.data());
   }
 }
 
 void FmCoinInstance::recv_deal(const Inbox& in, ChannelId ch) {
   const auto payloads = in.first_per_sender(ch);
+  const std::size_t width = std::size_t{env_.f} + 1;
   for (NodeId d = 0; d < env_.n; ++d) {
-    rows_[d].reset();
+    row_valid_[d] = 0;
     if (payloads[d] == nullptr) continue;
     ByteReader r(*payloads[d]);
-    const auto coeffs = r.u64_vec(std::size_t{env_.f} + 1);
+    const std::size_t count = r.u64_vec_into(scratch_->row_buf.data(), width);
     if (!r.at_end()) continue;
-    rows_[d] = validate_row(field_, env_.f, coeffs);
+    if (!validate_row_raw(field_, env_.f, scratch_->row_buf.data(), count)) {
+      continue;
+    }
+    row_valid_[d] = 1;
+    // The one evaluation pass per dealing: rounds 2-4 read these values
+    // instead of re-walking the row polynomial.
+    field_.eval_many(scratch_->row_buf.data(), width, scratch_->points.data(),
+                     env_.n, &eval_at_node(d, 0));
+    eval_at_zero(d) = scratch_->row_buf[0];
   }
 }
 
@@ -95,12 +129,11 @@ void FmCoinInstance::recv_deal(const Inbox& in, ChannelId ch) {
 // (symmetry: F_d(x_me, x_j) = F_d(x_j, x_me)).
 void FmCoinInstance::send_cross(Outbox& out, ChannelId ch) {
   for (NodeId j = 0; j < env_.n; ++j) {
-    std::vector<std::uint64_t> vals(env_.n, sentinel(field_));
     for (NodeId d = 0; d < env_.n; ++d) {
-      if (rows_[d]) vals[d] = rows_[d]->eval(field_, node_point(j));
+      scratch_->vals[d] = row_valid_[d] ? eval_at_node(d, j) : sentinel(field_);
     }
     ByteWriter& w = out.writer();
-    w.u64_vec(vals);
+    w.u64_vec(scratch_->vals.data(), env_.n);
     out.send(j, ch, w.data());
   }
 }
@@ -111,45 +144,44 @@ void FmCoinInstance::recv_cross(const Inbox& in, ChannelId ch) {
   for (NodeId j = 0; j < env_.n; ++j) {
     if (payloads[j] == nullptr) continue;
     ByteReader r(*payloads[j]);
-    const auto vals = r.u64_vec(env_.n);
-    if (!r.at_end() || vals.size() != env_.n) continue;
+    const std::size_t count = r.u64_vec_into(scratch_->vals.data(), env_.n);
+    if (!r.at_end() || count != env_.n) continue;
     for (NodeId d = 0; d < env_.n; ++d) {
-      if (!rows_[d] || !field_.valid(vals[d])) continue;
-      if (rows_[d]->eval(field_, node_point(j)) == vals[d]) {
-        ++cross_matches_[d];
-      }
+      if (!row_valid_[d] || !field_.valid(scratch_->vals[d])) continue;
+      if (eval_at_node(d, j) == scratch_->vals[d]) ++cross_matches_[d];
     }
   }
   for (NodeId d = 0; d < env_.n; ++d) {
-    happy_[d] =
-        gvss_happy(env_.n, env_.f, rows_[d].has_value(), cross_matches_[d]);
+    bitword_set(happy_words_.data(), d,
+                gvss_happy(env_.n, env_.f, row_valid_[d] != 0,
+                           cross_matches_[d]));
   }
 }
 
 // Round 3 — decide phase: broadcast my happy votes.
 void FmCoinInstance::send_votes(Outbox& out, ChannelId ch) {
   ByteWriter& w = out.writer();
-  w.u64_vec(pack_bits(happy_));
+  w.u64_vec(happy_words_.data(), words_);
   out.broadcast(ch, w.data());
 }
 
 void FmCoinInstance::recv_votes(const Inbox& in, ChannelId ch) {
   const auto payloads = in.first_per_sender(ch);
-  const std::size_t words = (std::size_t{env_.n} + 63) / 64;
-  std::vector<std::uint32_t> votes(env_.n, 0);
+  std::fill(scratch_->votes.begin(), scratch_->votes.end(), 0);
   for (NodeId j = 0; j < env_.n; ++j) {
-    voted_happy_[j].clear();
+    vote_valid_[j] = 0;
     if (payloads[j] == nullptr) continue;
     ByteReader r(*payloads[j]);
-    const auto mask = r.u64_vec(words);
-    if (!r.at_end() || mask.size() != words) continue;
-    voted_happy_[j] = unpack_bits(mask, env_.n);
+    std::uint64_t* row = voted_words_.data() + std::size_t{j} * words_;
+    const std::size_t count = r.u64_vec_into(row, words_);
+    if (!r.at_end() || count != words_) continue;
+    vote_valid_[j] = 1;
     for (NodeId d = 0; d < env_.n; ++d) {
-      if (voted_happy_[j][d]) ++votes[d];
+      if (bitword_get(row, d)) ++scratch_->votes[d];
     }
   }
   for (NodeId d = 0; d < env_.n; ++d) {
-    grades_[d] = gvss_grade(env_.n, env_.f, votes[d]);
+    grades_[d] = gvss_grade(env_.n, env_.f, scratch_->votes[d]);
   }
 }
 
@@ -157,25 +189,25 @@ void FmCoinInstance::recv_votes(const Inbox& in, ChannelId ch) {
 // every dealing I hold a row for. This is the single round before which
 // the adversary cannot predict the coin (Observation 2.1).
 void FmCoinInstance::send_shares(Outbox& out, ChannelId ch) {
-  std::vector<std::uint64_t> shares(env_.n, sentinel(field_));
   for (NodeId d = 0; d < env_.n; ++d) {
-    if (rows_[d]) shares[d] = rows_[d]->eval(field_, 0);
+    scratch_->vals[d] = row_valid_[d] ? eval_at_zero(d) : sentinel(field_);
   }
   ByteWriter& w = out.writer();
-  w.u64_vec(shares);
+  w.u64_vec(scratch_->vals.data(), env_.n);
   out.broadcast(ch, w.data());
 }
 
 void FmCoinInstance::recv_shares(const Inbox& in, ChannelId ch) {
   const auto payloads = in.first_per_sender(ch);
-  // Decode every sender's share vector once.
-  std::vector<std::vector<std::uint64_t>> share_vecs(env_.n);
+  // Decode every sender's share vector once, into the shared flat matrix.
   for (NodeId j = 0; j < env_.n; ++j) {
+    scratch_->shares_ok[j] = 0;
     if (payloads[j] == nullptr) continue;
     ByteReader r(*payloads[j]);
-    auto vals = r.u64_vec(env_.n);
-    if (!r.at_end() || vals.size() != env_.n) continue;
-    share_vecs[j] = std::move(vals);
+    const std::size_t count = r.u64_vec_into(
+        scratch_->shares.data() + std::size_t{j} * env_.n, env_.n);
+    if (!r.at_end() || count != env_.n) continue;
+    scratch_->shares_ok[j] = 1;
   }
   std::uint64_t sum = 0;
   for (NodeId d = 0; d < env_.n; ++d) {
@@ -184,18 +216,21 @@ void FmCoinInstance::recv_shares(const Inbox& in, ChannelId ch) {
     // voter's row is consistent with the unique dealt polynomial, so lies
     // among these points come only from Byzantine senders (<= f), within
     // the Berlekamp-Welch budget.
-    std::vector<RsPoint> pts;
-    pts.reserve(env_.n);
+    scratch_->pts.clear();
     for (NodeId j = 0; j < env_.n; ++j) {
-      if (share_vecs[j].empty()) continue;
-      if (voted_happy_[j].empty() || !voted_happy_[j][d]) continue;
-      const std::uint64_t y = share_vecs[j][d];
+      if (!scratch_->shares_ok[j] || !vote_valid_[j]) continue;
+      if (!bitword_get(voted_words_.data() + std::size_t{j} * words_, d)) {
+        continue;
+      }
+      const std::uint64_t y = scratch_->shares[std::size_t{j} * env_.n + d];
       if (!field_.valid(y)) continue;
-      pts.push_back(RsPoint{node_point(j), y});
+      scratch_->pts.push_back(RsPoint{node_point(j), y});
     }
     // Unrecoverable dealings (necessarily from a faulty dealer) contribute
     // the canonical value 0, identically at every node that fails.
-    const std::uint64_t s_d = gvss_recover(field_, env_.f, pts).value_or(0);
+    const std::uint64_t s_d =
+        gvss_recover(field_, env_.f, scratch_->pts, &scratch_->table)
+            .value_or(0);
     sum = field_.add(sum, s_d);
   }
   output_bit_ = (sum & 1) != 0;
@@ -203,19 +238,31 @@ void FmCoinInstance::recv_shares(const Inbox& in, ChannelId ch) {
 
 void FmCoinInstance::randomize_state(Rng& rng) {
   // Arbitrary memory corruption: every mutable field gets garbage that is
-  // type-valid but semantically arbitrary.
-  dealing_ = GvssDealing::sample(field_, env_.f, rng);
+  // type-valid but semantically arbitrary. (Draw order is load-bearing for
+  // replay determinism: dealing, then per dealer row/counters/votes, then
+  // the output bit.)
+  dealing_.resample(field_, env_.f, rng);
+  const std::size_t width = std::size_t{env_.f} + 1;
   for (NodeId d = 0; d < env_.n; ++d) {
     if (rng.next_bool()) {
-      rows_[d] = Poly::random(field_, static_cast<int>(env_.f), rng);
+      // A random-but-consistent degree-f row, like a fresh Poly::random.
+      for (std::size_t i = 0; i < width; ++i) {
+        scratch_->row_buf[i] = field_.uniform(rng);
+      }
+      row_valid_[d] = 1;
+      field_.eval_many(scratch_->row_buf.data(), width,
+                       scratch_->points.data(), env_.n, &eval_at_node(d, 0));
+      eval_at_zero(d) = scratch_->row_buf[0];
     } else {
-      rows_[d].reset();
+      row_valid_[d] = 0;
     }
     cross_matches_[d] = static_cast<std::uint32_t>(rng.next_below(env_.n + 1));
-    happy_[d] = rng.next_bool();
+    bitword_set(happy_words_.data(), d, rng.next_bool());
     grades_[d] = static_cast<GvssGrade>(rng.next_below(3));
-    voted_happy_[d].assign(env_.n, false);
-    for (NodeId j = 0; j < env_.n; ++j) voted_happy_[d][j] = rng.next_bool();
+    std::uint64_t* row = voted_words_.data() + std::size_t{d} * words_;
+    bitword_clear(row, env_.n);
+    for (NodeId j = 0; j < env_.n; ++j) bitword_set(row, j, rng.next_bool());
+    vote_valid_[d] = 1;
   }
   output_bit_ = rng.next_bool();
 }
@@ -224,8 +271,12 @@ CoinSpec fm_coin_spec(FmCoinParams params) {
   CoinSpec spec;
   spec.channels = FmCoinInstance::kRounds;
   spec.make = [params](const ProtocolEnv& env, ChannelId base, Rng rng) {
-    CoinInstanceFactory factory = [env, params](Rng inst_rng) {
-      return std::make_unique<FmCoinInstance>(env, params, inst_rng);
+    // One scratch per pipeline: its staggered instances never execute the
+    // same round in the same beat, so round-transient state is shareable.
+    auto scratch = std::make_shared<FmCoinScratch>();
+    CoinInstanceFactory factory = [env, params,
+                                   scratch](Rng inst_rng) mutable {
+      return std::make_unique<FmCoinInstance>(env, params, inst_rng, scratch);
     };
     return std::make_unique<SsByzCoinFlip>(std::move(factory),
                                            FmCoinInstance::kRounds, base, rng);

@@ -28,6 +28,18 @@
 // realized p0/p1 per adversary, including a dedicated grade-splitting
 // attacker, and the clock layer above consumes only the measured
 // constants.
+//
+// Hot-path layout
+// ---------------
+// All per-dealer state is flat uint64 storage: each received row is
+// validated once and immediately evaluated at every node point (one
+// eval_many pass per dealing feeds rounds 2-4, replacing repeated Horner
+// walks), vote masks are bit-packed words (support/bitwords.h), and every
+// round-transient buffer lives in an FmCoinScratch shared by the staggered
+// instances of one pipeline — at any beat exactly one instance executes a
+// given round, so round-local scratch never overlaps. Together with the
+// pipeline's reinit-recycling, a warm FM-coin beat performs zero heap
+// allocations (tests/alloc_test.cpp pins this for the full clock stack).
 #pragma once
 
 #include <cstdint>
@@ -51,14 +63,37 @@ struct FmCoinParams {
   }
 };
 
+// Round-transient buffers plus the (field, n, f) recovery tables, shared by
+// all instances of one coin pipeline (and across beats). Instances built
+// without one allocate a private copy, so standalone use needs no plumbing.
+struct FmCoinScratch {
+  // Idempotent per (modulus, n, f); rebuilds when the shape changes.
+  void ensure(const PrimeField& F, std::uint32_t n, std::uint32_t f);
+
+  std::uint64_t modulus = 0;
+  std::uint32_t n = 0;
+  std::uint32_t f = 0;
+
+  std::vector<std::uint64_t> points;   // node points 1..n, for eval_many
+  std::vector<std::uint64_t> row_buf;  // f+1 row coefficients (deal codec)
+  std::vector<std::uint64_t> vals;     // n-element payload codec buffer
+  std::vector<std::uint64_t> shares;   // n x n received share matrix
+  std::vector<std::uint8_t> shares_ok; // per sender: decoded cleanly
+  std::vector<std::uint32_t> votes;    // per dealer: happy-vote tally
+  std::vector<RsPoint> pts;            // recovery point set (capacity n)
+  GvssRecoverTable table;              // steady-state recovery fast path
+};
+
 class FmCoinInstance final : public CoinInstance {
  public:
-  FmCoinInstance(const ProtocolEnv& env, const FmCoinParams& params, Rng rng);
+  FmCoinInstance(const ProtocolEnv& env, const FmCoinParams& params, Rng rng,
+                 std::shared_ptr<FmCoinScratch> scratch = nullptr);
 
   int rounds() const override { return kRounds; }
   void send_round(int round, Outbox& out, ChannelId base) override;
   void receive_round(int round, const Inbox& in, ChannelId base) override;
   bool output() const override { return output_bit_; }
+  void reinit(Rng rng) override;
   void randomize_state(Rng& rng) override;
 
   static constexpr int kRounds = 4;
@@ -77,19 +112,34 @@ class FmCoinInstance final : public CoinInstance {
   void recv_votes(const Inbox& in, ChannelId ch);
   void recv_shares(const Inbox& in, ChannelId ch);
 
+  // row_evals_ accessors: dealer d's row evaluated at 0 / at node_point(j).
+  std::uint64_t& eval_at_zero(NodeId d) {
+    return row_evals_[std::size_t{d} * (env_.n + 1)];
+  }
+  std::uint64_t& eval_at_node(NodeId d, NodeId j) {
+    return row_evals_[std::size_t{d} * (env_.n + 1) + 1 + j];
+  }
+
   ProtocolEnv env_;
   PrimeField field_;
   Rng rng_;
   GvssDealing dealing_;  // my own secret's dealing
+  std::shared_ptr<FmCoinScratch> scratch_;
+  std::size_t words_;  // bitword_count(n)
 
-  // Per dealer d: my row of d's dealing (nullopt if missing/malformed).
-  std::vector<std::optional<Poly>> rows_;
+  // Per dealer d: whether my row of d's dealing is valid, and its
+  // evaluations at 0 and every node point (n x (n+1) flat table) — the one
+  // O(n*f) pass per dealing that rounds 2-4 read from.
+  std::vector<std::uint8_t> row_valid_;
+  std::vector<std::uint64_t> row_evals_;
   // Per dealer d: number of nodes whose cross value matched my row.
   std::vector<std::uint32_t> cross_matches_;
-  // Per dealer d: my happy vote.
-  std::vector<bool> happy_;
-  // voted_happy_[j] = round-3 bitmask received from node j (empty if none).
-  std::vector<std::vector<bool>> voted_happy_;
+  // My happy votes, bit-packed (wire format of round 3).
+  std::vector<std::uint64_t> happy_words_;
+  // Round-3 bitmask received from node j (row j of a flat word matrix;
+  // vote_valid_[j] distinguishes "nothing valid" from all-zero votes).
+  std::vector<std::uint64_t> voted_words_;
+  std::vector<std::uint8_t> vote_valid_;
   // Per dealer d: grade derived from the votes.
   std::vector<GvssGrade> grades_;
 

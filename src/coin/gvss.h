@@ -42,6 +42,12 @@ inline std::uint64_t node_point(NodeId id) { return std::uint64_t{id} + 1; }
 // Grades per Definition/use in Observation 2.1.
 enum class GvssGrade : std::uint8_t { kNone = 0, kLow = 1, kHigh = 2 };
 
+// Row-validity rule for untrusted dealer payloads, over raw storage: true
+// iff exactly f+1 coefficients, all canonical. The single source of truth
+// — validate_row and the coin's non-allocating decode path both call it.
+bool validate_row_raw(const PrimeField& F, std::uint32_t f,
+                      const std::uint64_t* coeffs, std::size_t count);
+
 // Validates an untrusted row polynomial payload: every coefficient
 // canonical and degree <= f. Returns nullopt on any violation.
 std::optional<Poly> validate_row(const PrimeField& F, std::uint32_t f,
@@ -55,6 +61,48 @@ bool gvss_happy(std::uint32_t n, std::uint32_t f, bool row_valid,
 // Grade from the number of distinct nodes that voted happy.
 GvssGrade gvss_grade(std::uint32_t n, std::uint32_t f, std::uint32_t votes);
 
+// Precomputed Lagrange tables for the recovery fast path over the fixed
+// node points 1..n, cached per (field, n, f) — typically one per coin
+// pipeline, shared by its staggered instances and reused beat after beat.
+//
+// The tables carry, for the canonical prefix subset {node_point(0..f)} =
+// {1..f+1}, the basis coefficients L_i(x) of the degree-f interpolant at
+// every other node point and at 0. When the first f+1 shares handed to
+// gvss_recover are exactly that prefix (the steady state: correct low-id
+// senders are present every beat), candidate evaluation is a table/share
+// dot product — no inversion, no allocation. Other subsets fall back to a
+// generic batch-inverted path.
+class GvssRecoverTable {
+ public:
+  GvssRecoverTable() = default;
+  GvssRecoverTable(const PrimeField& F, std::uint32_t n, std::uint32_t f) {
+    init(F, n, f);
+  }
+
+  // Builds (or rebuilds) the tables. One batch inversion, O(n * f) space.
+  void init(const PrimeField& F, std::uint32_t n, std::uint32_t f);
+
+  bool ready() const { return n_ != 0; }
+  std::uint32_t n() const { return n_; }
+  std::uint32_t f() const { return f_; }
+  std::uint64_t modulus() const { return modulus_; }
+
+  // L_i(0) for i <= f (f+1 entries).
+  const std::uint64_t* zero_row() const { return zero_row_.data(); }
+  // L_i(point) for point in [f+2, n]: row (point - f - 2), f+1 entries.
+  const std::uint64_t* target_row(std::uint64_t point) const {
+    return target_rows_.data() +
+           static_cast<std::size_t>(point - f_ - 2) * (f_ + 1);
+  }
+
+ private:
+  std::uint32_t n_ = 0;
+  std::uint32_t f_ = 0;
+  std::uint64_t modulus_ = 0;
+  std::vector<std::uint64_t> zero_row_;
+  std::vector<std::uint64_t> target_rows_;  // (n - f - 1) rows x (f+1)
+};
+
 // Recovers the dealt secret g(0) from shares g(node_point(j)) where
 // g(x) = F(x, 0) has degree <= f and at most `f` of the points lie. Fast
 // path: if the first f+1 points interpolate a polynomial consistent with
@@ -62,8 +110,14 @@ GvssGrade gvss_grade(std::uint32_t n, std::uint32_t f, std::uint32_t votes);
 // Returns nullopt when decoding is impossible (an inevitably faulty
 // dealing); callers map that to the canonical secret 0 so all correct nodes
 // that fail, fail identically.
+//
+// When `table` is provided (ready, same field/f) and the shares' first f+1
+// x's are the canonical prefix 1..f+1, the fast path runs entirely out of
+// the precomputed tables and allocates nothing. All paths compute the same
+// field elements, so results are bit-identical with or without a table.
 std::optional<std::uint64_t> gvss_recover(const PrimeField& F, std::uint32_t f,
-                                          const std::vector<RsPoint>& shares);
+                                          const std::vector<RsPoint>& shares,
+                                          const GvssRecoverTable* table = nullptr);
 
 // One dealer's side of the share phase.
 class GvssDealing {
@@ -71,8 +125,15 @@ class GvssDealing {
   // Samples a dealing of a uniform secret (degree f in each variable).
   static GvssDealing sample(const PrimeField& F, std::uint32_t f, Rng& rng);
 
+  // Re-deals in place with the same draw sequence as sample(), reusing the
+  // coefficient storage (no allocation once warm).
+  void resample(const PrimeField& F, std::uint32_t f, Rng& rng);
+
   // Row polynomial for node `to` (degree <= f, f+1 coefficients).
   std::vector<std::uint64_t> row_for(const PrimeField& F, NodeId to) const;
+
+  // Scratch variant: writes the f+1 row coefficients into caller storage.
+  void row_into(const PrimeField& F, NodeId to, std::uint64_t* out) const;
 
   std::uint64_t secret() const { return poly_.secret(); }
   const SymmetricBivariate& bivariate() const { return poly_; }

@@ -1,6 +1,6 @@
 #include "core/clock_sync.h"
 
-#include <map>
+#include <algorithm>
 
 #include "support/check.h"
 
@@ -22,6 +22,7 @@ SsByzClockSync::SsByzClockSync(const ProtocolEnv& env, ClockValue k,
       ch_prop_(static_cast<ChannelId>(base + 1)),
       ch_bit_(static_cast<ChannelId>(base + 2)),
       channels_end_(base + channels_needed(coin, mode)) {
+  value_counts_.reserve(env.n);
   SSBFT_REQUIRE_MSG(k >= 1, "k-Clock needs k >= 1");
   const auto a_base = static_cast<ChannelId>(base + 3);
   a_ = std::make_unique<SsByz4Clock>(env, coin, a_base, rng.split("four"),
@@ -84,29 +85,39 @@ void SsByzClockSync::receive_phase(const Inbox& in) {
   }
 }
 
+void SsByzClockSync::tally(ClockValue v) {
+  for (auto& [value, count] : value_counts_) {
+    if (value == v) {
+      ++count;
+      return;
+    }
+  }
+  value_counts_.emplace_back(v, 1);
+}
+
 // End of block (a)'s beat: remember the value (if any) that n-f nodes sent.
 void SsByzClockSync::recv_phase0(const Inbox& in) {
-  std::map<ClockValue, std::uint32_t> counts;
+  value_counts_.clear();
   for (const Bytes* payload : in.first_per_sender(ch_full_)) {
     if (payload == nullptr) continue;
     ByteReader r(*payload);
     const std::uint64_t v = r.u64();
     if (!r.at_end() || v >= k_) continue;  // out-of-range: Byzantine garbage
-    ++counts[v];
+    tally(v);
   }
   strong_value_.reset();
-  for (const auto& [v, c] : counts) {
-    if (c >= env_.n - env_.f) {
-      strong_value_ = v;  // unique: 2(n-f) > n for f < n/3
-      break;
-    }
+  // Smallest qualifying value, matching the old ascending-map scan (at
+  // most one value can qualify anyway: 2(n-f) > n for f < n/3).
+  for (const auto& [v, c] : value_counts_) {
+    if (c < env_.n - env_.f) continue;
+    if (!strong_value_ || v < *strong_value_) strong_value_ = v;
   }
 }
 
 // End of block (b)'s beat: save := majority non-? proposal, bit := whether
 // it had n-f support, save := 0 when everything was ?.
 void SsByzClockSync::recv_phase1(const Inbox& in) {
-  std::map<ClockValue, std::uint32_t> counts;
+  value_counts_.clear();
   for (const Bytes* payload : in.first_per_sender(ch_prop_)) {
     if (payload == nullptr) continue;
     ByteReader r(*payload);
@@ -115,12 +126,14 @@ void SsByzClockSync::recv_phase1(const Inbox& in) {
     if (!r.at_end() || tag > kPropValue) continue;
     if (tag == kPropBottom) continue;  // "?" proposals carry no value
     if (v >= k_) continue;
-    ++counts[v];
+    tally(v);
   }
+  // Highest count; ties break toward the smallest value, matching the old
+  // ascending-map scan.
   ClockValue best = 0;
   std::uint32_t best_count = 0;
-  for (const auto& [v, c] : counts) {
-    if (c > best_count) {
+  for (const auto& [v, c] : value_counts_) {
+    if (c > best_count || (c == best_count && best_count > 0 && v < best)) {
       best = v;
       best_count = c;
     }

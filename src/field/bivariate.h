@@ -19,10 +19,18 @@ namespace ssbft {
 
 class SymmetricBivariate {
  public:
+  // Empty (degree -1) until resample() fills it. Exists so long-lived
+  // holders can re-deal in place without reallocating coefficients.
+  SymmetricBivariate() = default;
+
   // Uniformly random symmetric F with degree <= deg in each variable and
   // F(0,0) = secret.
   static SymmetricBivariate sample(const PrimeField& F, int deg,
                                    std::uint64_t secret, Rng& rng);
+
+  // Re-deals in place: same draws as sample(), but the coefficient storage
+  // is reused, so re-dealing a warm object performs no allocation.
+  void resample(const PrimeField& F, int deg, std::uint64_t secret, Rng& rng);
 
   int degree() const { return deg_; }
 
@@ -33,19 +41,21 @@ class SymmetricBivariate {
   // Row polynomial f_x0(y) = F(x0, y), as a univariate in y.
   Poly row(const PrimeField& F, std::uint64_t x0) const;
 
+  // Scratch variant: writes the row's deg+1 coefficients (little-endian in
+  // y) into caller storage, allocating nothing.
+  void row_into(const PrimeField& F, std::uint64_t x0,
+                std::uint64_t* out) const;
+
   // The shared secret F(0,0).
   std::uint64_t secret() const { return at(0, 0); }
 
  private:
-  SymmetricBivariate(int deg, std::vector<std::uint64_t> c)
-      : deg_(deg), c_(std::move(c)) {}
-
   std::uint64_t at(int i, int j) const {
     return c_[static_cast<std::size_t>(i) * static_cast<std::size_t>(deg_ + 1) +
               static_cast<std::size_t>(j)];
   }
 
-  int deg_;
+  int deg_ = -1;
   std::vector<std::uint64_t> c_;  // (deg+1)^2 coefficients, c[i][j] = c[j][i]
 };
 

@@ -6,11 +6,30 @@
 // uint64_t in [0, p); the field object carries the modulus. This keeps
 // element storage flat (vectors of uint64_t) which matters for the O(n^2)
 // share matrices the VSS moves around.
+//
+// Two arithmetic backends sit behind one API, selected once at construction:
+//
+//   * Mersenne-61 fast path (the default prime): a 128-bit product reduces
+//     with two shift/add folds and one conditional subtract — no hardware
+//     division anywhere on the hot path.
+//   * Generic fallback for arbitrary runtime primes: the product reduces
+//     with `unsigned __int128 % p`. This is also the reference the fast
+//     path is property-tested against (tests/field_test.cpp).
+//
+// Both backends compute the same canonical representative for every input,
+// so switching between them is bit-exact.
+//
+// The scalar ops keep the contract checks from support/check.h; the batch
+// kernels (mul_vec, eval_many, batch_inv, ...) hoist validation and the
+// backend dispatch out of the element loop — callers must pass canonical
+// elements (the kernels' inputs always come from already-validated flat
+// storage in this codebase).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "support/check.h"
 #include "support/rng.h"
 
 namespace ssbft {
@@ -27,16 +46,79 @@ class PrimeField {
 
   // True iff v is a canonical representative (< p).
   bool valid(std::uint64_t v) const { return v < p_; }
-  // Canonicalize an arbitrary 64-bit value (used on untrusted input).
-  std::uint64_t reduce(std::uint64_t v) const { return v % p_; }
 
-  std::uint64_t add(std::uint64_t a, std::uint64_t b) const;
-  std::uint64_t sub(std::uint64_t a, std::uint64_t b) const;
-  std::uint64_t neg(std::uint64_t a) const;
-  std::uint64_t mul(std::uint64_t a, std::uint64_t b) const;
+  // Canonicalize an arbitrary 64-bit value (used on untrusted input).
+  std::uint64_t reduce(std::uint64_t v) const {
+    if (mersenne61_) {
+      const std::uint64_t s = (v & kDefaultPrime) + (v >> 61);
+      return s >= kDefaultPrime ? s - kDefaultPrime : s;
+    }
+    return v % p_;
+  }
+
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const {
+    SSBFT_CHECK(a < p_ && b < p_);
+    std::uint64_t s = a + b;  // p may exceed 2^63: detect wraparound too
+    if (s < a || s >= p_) s -= p_;
+    return s;
+  }
+
+  std::uint64_t sub(std::uint64_t a, std::uint64_t b) const {
+    SSBFT_CHECK(a < p_ && b < p_);
+    return a >= b ? a - b : a + (p_ - b);
+  }
+
+  std::uint64_t neg(std::uint64_t a) const {
+    SSBFT_CHECK(a < p_);
+    return a == 0 ? 0 : p_ - a;
+  }
+
+  std::uint64_t mul(std::uint64_t a, std::uint64_t b) const {
+    SSBFT_CHECK(a < p_ && b < p_);
+    const unsigned __int128 t = static_cast<unsigned __int128>(a) * b;
+    if (mersenne61_) return fold61(t);
+    return static_cast<std::uint64_t>(t % p_);
+  }
+
   std::uint64_t pow(std::uint64_t a, std::uint64_t e) const;
-  // Multiplicative inverse; a must be nonzero.
+
+  // Multiplicative inverse via extended Euclid; a must be nonzero.
   std::uint64_t inv(std::uint64_t a) const;
+
+  // --- batch kernels ------------------------------------------------------
+  //
+  // All array arguments must hold canonical elements; `out` may alias an
+  // input only where noted. The backend dispatch happens once per call.
+
+  // out[i] = a[i] * b[i]. out may alias a or b.
+  void mul_vec(const std::uint64_t* a, const std::uint64_t* b,
+               std::uint64_t* out, std::size_t len) const;
+
+  // out[i] = a[i] * c. out may alias a.
+  void scale_vec(const std::uint64_t* a, std::uint64_t c, std::uint64_t* out,
+                 std::size_t len) const;
+
+  // dst[i] -= c * src[i] (the Gaussian-elimination row update). dst must
+  // not alias src.
+  void submul_vec(std::uint64_t* dst, const std::uint64_t* src,
+                  std::uint64_t c, std::size_t len) const;
+
+  // Horner evaluation of sum_i coeffs[i] x^i (count coefficients,
+  // little-endian). count == 0 yields 0.
+  std::uint64_t horner(const std::uint64_t* coeffs, std::size_t count,
+                       std::uint64_t x) const;
+
+  // out[k] = Horner(coeffs, xs[k]) for k < m: one polynomial over a point
+  // set, with the dispatch and bounds work hoisted out of the loop.
+  void eval_many(const std::uint64_t* coeffs, std::size_t count,
+                 const std::uint64_t* xs, std::size_t m,
+                 std::uint64_t* out) const;
+
+  // Montgomery batch inversion: replaces vals[i] with vals[i]^-1 using a
+  // single inv() and 3(len-1) multiplications. All vals must be nonzero.
+  // scratch must hold len elements and not alias vals.
+  void batch_inv(std::uint64_t* vals, std::size_t len,
+                 std::uint64_t* scratch) const;
 
   // Uniformly random element of [0, p).
   std::uint64_t uniform(Rng& rng) const;
@@ -45,8 +127,20 @@ class PrimeField {
 
   bool operator==(const PrimeField& o) const { return p_ == o.p_; }
 
+  // Reduces t < 2^122 modulo 2^61 - 1: two shift/add folds bring the value
+  // under 2^61 + 1, then one conditional subtract canonicalizes. The one
+  // definition of the Mersenne fold — the batch kernels call it too, so
+  // scalar and vector paths cannot drift apart.
+  static std::uint64_t fold61(unsigned __int128 t) {
+    std::uint64_t s = (static_cast<std::uint64_t>(t) & kDefaultPrime) +
+                      static_cast<std::uint64_t>(t >> 61);  // < 2^62
+    s = (s & kDefaultPrime) + (s >> 61);                    // <= 2^61
+    return s >= kDefaultPrime ? s - kDefaultPrime : s;
+  }
+
  private:
   std::uint64_t p_;
+  bool mersenne61_;
 };
 
 }  // namespace ssbft

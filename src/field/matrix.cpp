@@ -25,15 +25,13 @@ std::vector<std::size_t> eliminate(const PrimeField& F, Matrix& A,
     }
     // Normalize pivot row.
     const std::uint64_t inv = F.inv(A.at(row, col));
-    for (std::size_t c = col; c < A.cols(); ++c)
-      A.at(row, c) = F.mul(A.at(row, c), inv);
+    F.scale_vec(A.row(row) + col, inv, A.row(row) + col, A.cols() - col);
     if (b) (*b)[row] = F.mul((*b)[row], inv);
     // Clear the column below and above.
     for (std::size_t r = 0; r < A.rows(); ++r) {
       if (r == row || A.at(r, col) == 0) continue;
       const std::uint64_t factor = A.at(r, col);
-      for (std::size_t c = col; c < A.cols(); ++c)
-        A.at(r, c) = F.sub(A.at(r, c), F.mul(factor, A.at(row, c)));
+      F.submul_vec(A.row(r) + col, A.row(row) + col, factor, A.cols() - col);
       if (b) (*b)[r] = F.sub((*b)[r], F.mul(factor, (*b)[row]));
     }
     pivot_cols.push_back(col);

@@ -22,6 +22,10 @@ class Matrix {
   std::uint64_t& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
   std::uint64_t at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
 
+  // Raw row storage, for the field's batch kernels.
+  std::uint64_t* row(std::size_t r) { return data_.data() + r * cols_; }
+  const std::uint64_t* row(std::size_t r) const { return data_.data() + r * cols_; }
+
  private:
   std::size_t rows_, cols_;
   std::vector<std::uint64_t> data_;

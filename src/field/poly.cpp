@@ -35,7 +35,9 @@ void Poly::normalize() {
 }
 
 std::uint64_t Poly::eval(const PrimeField& F, std::uint64_t x) const {
-  // Horner's rule.
+  // Checked Horner: a Poly built from unvalidated coefficients must fail
+  // the field contract loudly, not fold garbage. Hot paths evaluate
+  // already-validated flat storage via eval_raw / F.eval_many instead.
   std::uint64_t acc = 0;
   for (std::size_t i = coeffs_.size(); i-- > 0;) {
     acc = F.add(F.mul(acc, x), coeffs_[i]);
@@ -43,9 +45,30 @@ std::uint64_t Poly::eval(const PrimeField& F, std::uint64_t x) const {
   return acc;
 }
 
+void Poly::add_into(const PrimeField& F, const Poly& o,
+                    std::vector<std::uint64_t>& out) const {
+  out.resize(std::max(coeffs_.size(), o.coeffs_.size()));
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = F.add(coeff(i), o.coeff(i));
+}
+
+void Poly::mul_into(const PrimeField& F, const Poly& o,
+                    std::vector<std::uint64_t>& out) const {
+  if (is_zero() || o.is_zero()) {
+    out.clear();
+    return;
+  }
+  out.assign(coeffs_.size() + o.coeffs_.size() - 1, 0);
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    if (coeffs_[i] == 0) continue;
+    for (std::size_t j = 0; j < o.coeffs_.size(); ++j) {
+      out[i + j] = F.add(out[i + j], F.mul(coeffs_[i], o.coeffs_[j]));
+    }
+  }
+}
+
 Poly Poly::add(const PrimeField& F, const Poly& o) const {
-  std::vector<std::uint64_t> c(std::max(coeffs_.size(), o.coeffs_.size()), 0);
-  for (std::size_t i = 0; i < c.size(); ++i) c[i] = F.add(coeff(i), o.coeff(i));
+  std::vector<std::uint64_t> c;
+  add_into(F, o, c);
   return Poly(std::move(c));
 }
 
@@ -56,14 +79,8 @@ Poly Poly::sub(const PrimeField& F, const Poly& o) const {
 }
 
 Poly Poly::mul(const PrimeField& F, const Poly& o) const {
-  if (is_zero() || o.is_zero()) return Poly();
-  std::vector<std::uint64_t> c(coeffs_.size() + o.coeffs_.size() - 1, 0);
-  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
-    if (coeffs_[i] == 0) continue;
-    for (std::size_t j = 0; j < o.coeffs_.size(); ++j) {
-      c[i + j] = F.add(c[i + j], F.mul(coeffs_[i], o.coeffs_[j]));
-    }
-  }
+  std::vector<std::uint64_t> c;
+  mul_into(F, o, c);
   return Poly(std::move(c));
 }
 
@@ -75,20 +92,22 @@ Poly Poly::scale(const PrimeField& F, std::uint64_t c) const {
 
 std::pair<Poly, Poly> Poly::divmod(const PrimeField& F, const Poly& divisor) const {
   SSBFT_REQUIRE_MSG(!divisor.is_zero(), "polynomial division by zero");
-  std::vector<std::uint64_t> rem = coeffs_;
   const int dd = divisor.degree();
+  if (degree() < dd) {
+    // Quotient is zero and the remainder is the dividend itself; skip the
+    // leading-coefficient inversion and the elimination loop entirely.
+    return {Poly(), *this};
+  }
+  std::vector<std::uint64_t> rem = coeffs_;
   const std::uint64_t lead_inv = F.inv(divisor.coeffs_.back());
-  std::vector<std::uint64_t> quot;
-  if (degree() >= dd) quot.assign(static_cast<std::size_t>(degree() - dd) + 1, 0);
+  std::vector<std::uint64_t> quot(static_cast<std::size_t>(degree() - dd) + 1, 0);
   for (int i = degree(); i >= dd; --i) {
     const std::size_t ui = static_cast<std::size_t>(i);
-    if (rem.size() <= ui || rem[ui] == 0) continue;
+    if (rem[ui] == 0) continue;
     const std::uint64_t q = F.mul(rem[ui], lead_inv);
     quot[static_cast<std::size_t>(i - dd)] = q;
-    for (int j = 0; j <= dd; ++j) {
-      const std::size_t ri = static_cast<std::size_t>(i - dd + j);
-      rem[ri] = F.sub(rem[ri], F.mul(q, divisor.coeff(static_cast<std::size_t>(j))));
-    }
+    F.submul_vec(rem.data() + (i - dd), divisor.coeffs_.data(), q,
+                 static_cast<std::size_t>(dd) + 1);
   }
   return {Poly(std::move(quot)), Poly(std::move(rem))};
 }
@@ -98,22 +117,41 @@ Poly lagrange_interpolate(const PrimeField& F,
                           const std::vector<std::uint64_t>& ys) {
   SSBFT_REQUIRE(xs.size() == ys.size() && !xs.empty());
   const std::size_t m = xs.size();
-  // result = sum_i ys[i] * prod_{j != i} (x - xs[j]) / (xs[i] - xs[j])
-  Poly result;
+  // Master polynomial M(x) = prod_j (x - xs[j]), built in place.
+  std::vector<std::uint64_t> master(m + 1, 0);
+  master[0] = 1;
+  for (std::size_t j = 0; j < m; ++j) {
+    master[j + 1] = master[j];
+    for (std::size_t k = j; k >= 1; --k) {
+      master[k] = F.sub(master[k - 1], F.mul(xs[j], master[k]));
+    }
+    master[0] = F.mul(F.neg(xs[j]), master[0]);
+  }
+  // Denominators prod_{j != i} (xs[i] - xs[j]), inverted all at once.
+  std::vector<std::uint64_t> denom(m, 1), scratch(m);
   for (std::size_t i = 0; i < m; ++i) {
-    Poly basis(std::vector<std::uint64_t>{1});
-    std::uint64_t denom = 1;
     for (std::size_t j = 0; j < m; ++j) {
       if (j == i) continue;
-      // basis *= (x - xs[j])
-      basis = basis.mul(F, Poly(std::vector<std::uint64_t>{F.neg(xs[j]), 1}));
       const std::uint64_t d = F.sub(xs[i], xs[j]);
       SSBFT_REQUIRE_MSG(d != 0, "interpolation nodes must be distinct");
-      denom = F.mul(denom, d);
+      denom[i] = F.mul(denom[i], d);
     }
-    result = result.add(F, basis.scale(F, F.mul(ys[i], F.inv(denom))));
   }
-  return result;
+  F.batch_inv(denom.data(), m, scratch.data());
+  // result = sum_i ys[i]/denom[i] * M(x)/(x - xs[i]); each basis falls out
+  // of M by synthetic division.
+  std::vector<std::uint64_t> out(m, 0), basis(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint64_t c = F.mul(ys[i], denom[i]);
+    basis[m - 1] = master[m];
+    for (std::size_t k = m - 1; k >= 1; --k) {
+      basis[k - 1] = F.add(master[k], F.mul(xs[i], basis[k]));
+    }
+    for (std::size_t k = 0; k < m; ++k) {
+      out[k] = F.add(out[k], F.mul(c, basis[k]));
+    }
+  }
+  return Poly(std::move(out));
 }
 
 }  // namespace ssbft

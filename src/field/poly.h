@@ -2,6 +2,10 @@
 //
 // Coefficient vectors are little-endian (coeffs[i] multiplies x^i). The zero
 // polynomial is the empty vector; degree() of zero is -1 by convention.
+//
+// The value-returning arithmetic is the convenient API; hot paths use the
+// `_into` scratch variants, which write into caller-provided storage so a
+// long-lived buffer's capacity is reused call after call.
 #pragma once
 
 #include <cstdint>
@@ -34,10 +38,28 @@ class Poly {
 
   std::uint64_t eval(const PrimeField& F, std::uint64_t x) const;
 
+  // Scratch counterpart of eval for coefficients held in flat storage
+  // (count little-endian coefficients starting at coeffs). Coefficients
+  // must be canonical — this is the unchecked fast path for
+  // already-validated buffers.
+  static std::uint64_t eval_raw(const PrimeField& F,
+                                const std::uint64_t* coeffs, std::size_t count,
+                                std::uint64_t x) {
+    return F.horner(coeffs, count, x);
+  }
+
   Poly add(const PrimeField& F, const Poly& o) const;
   Poly sub(const PrimeField& F, const Poly& o) const;
   Poly mul(const PrimeField& F, const Poly& o) const;
   Poly scale(const PrimeField& F, std::uint64_t c) const;
+
+  // Scratch variants: write the raw (unnormalized) coefficients of
+  // *this (+|*) o into `out`, resizing it as needed — capacity is reused
+  // across calls. `out` must not alias either operand's storage.
+  void add_into(const PrimeField& F, const Poly& o,
+                std::vector<std::uint64_t>& out) const;
+  void mul_into(const PrimeField& F, const Poly& o,
+                std::vector<std::uint64_t>& out) const;
 
   // Polynomial division: *this = q * divisor + r. divisor must be nonzero.
   // Returns {q, r}.
@@ -53,7 +75,10 @@ class Poly {
 };
 
 // Unique polynomial of degree < points.size() through the given points.
-// The xs must be distinct canonical field elements.
+// The xs must be distinct canonical field elements. Internally builds the
+// master polynomial prod(x - xs[j]) once, peels off each node's basis by
+// synthetic division, and inverts all denominators with a single batch
+// inversion — O(m^2) multiplications and exactly one field inversion.
 Poly lagrange_interpolate(const PrimeField& F,
                           const std::vector<std::uint64_t>& xs,
                           const std::vector<std::uint64_t>& ys);

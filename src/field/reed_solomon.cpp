@@ -32,7 +32,7 @@ std::optional<Poly> try_decode(const PrimeField& F,
       A.at(i, nq + j) = F.neg(F.mul(y, xp));
       xp = F.mul(xp, x);
     }
-    b[i] = F.mul(y, F.pow(x, static_cast<std::uint64_t>(e)));
+    b[i] = F.mul(y, xp);  // xp == x^e after the E loop
   }
   auto sol = solve_linear(F, std::move(A), std::move(b));
   if (!sol) return std::nullopt;

@@ -1,0 +1,41 @@
+// Flat 64-bit word arrays used as dense bit sets.
+//
+// std::vector<bool> is a poor fit for per-round protocol state: every
+// construction allocates, and the proxy-reference API pessimizes hot loops.
+// These helpers operate on plain uint64_t word arrays (typically a slice of
+// a long-lived scratch vector), so bit masks can live in flat
+// instance-persistent storage and travel the wire verbatim as u64 vectors.
+//
+// Bit i lives in word i/64 at bit position i%64 — the same layout the
+// FM coin's vote masks have always used on the wire, so packing is free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ssbft {
+
+// Words needed to hold `bits` bits.
+inline constexpr std::size_t bitword_count(std::size_t bits) {
+  return (bits + 63) / 64;
+}
+
+inline bool bitword_get(const std::uint64_t* words, std::size_t i) {
+  return (words[i / 64] >> (i % 64)) & 1;
+}
+
+inline void bitword_set(std::uint64_t* words, std::size_t i, bool v) {
+  const std::uint64_t mask = std::uint64_t{1} << (i % 64);
+  if (v) {
+    words[i / 64] |= mask;
+  } else {
+    words[i / 64] &= ~mask;
+  }
+}
+
+// Zeroes the first bitword_count(bits) words.
+inline void bitword_clear(std::uint64_t* words, std::size_t bits) {
+  for (std::size_t w = 0; w < bitword_count(bits); ++w) words[w] = 0;
+}
+
+}  // namespace ssbft

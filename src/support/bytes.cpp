@@ -18,8 +18,12 @@ void ByteWriter::u64(std::uint64_t v) {
 }
 
 void ByteWriter::u64_vec(const std::vector<std::uint64_t>& v) {
-  u32(static_cast<std::uint32_t>(v.size()));
-  for (std::uint64_t x : v) u64(x);
+  u64_vec(v.data(), v.size());
+}
+
+void ByteWriter::u64_vec(const std::uint64_t* data, std::size_t len) {
+  u32(static_cast<std::uint32_t>(len));
+  for (std::size_t i = 0; i < len; ++i) u64(data[i]);
 }
 
 void ByteWriter::bytes(const Bytes& v) {
@@ -74,6 +78,17 @@ std::vector<std::uint64_t> ByteReader::u64_vec(std::size_t max_elems) {
   std::vector<std::uint64_t> v(n);
   for (auto& x : v) x = u64();
   return v;
+}
+
+std::size_t ByteReader::u64_vec_into(std::uint64_t* dst,
+                                     std::size_t max_elems) {
+  std::uint32_t n = u32();
+  if (!ok_ || n > max_elems || remaining() < std::size_t{n} * 8) {
+    ok_ = false;
+    return 0;
+  }
+  for (std::uint32_t i = 0; i < n; ++i) dst[i] = u64();
+  return n;
 }
 
 Bytes ByteReader::bytes(std::size_t max_len) {

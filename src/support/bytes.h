@@ -25,6 +25,8 @@ class ByteWriter {
   void u64(std::uint64_t v);
   // Length-prefixed (u32) vector of u64 values.
   void u64_vec(const std::vector<std::uint64_t>& v);
+  // Same wire format from flat storage (scratch buffers, array slices).
+  void u64_vec(const std::uint64_t* data, std::size_t len);
   // Length-prefixed (u32) raw bytes.
   void bytes(const Bytes& v);
 
@@ -52,6 +54,11 @@ class ByteReader {
   // Reads a length-prefixed u64 vector; the length is capped by
   // `max_elems` so a hostile length prefix cannot force a huge allocation.
   std::vector<std::uint64_t> u64_vec(std::size_t max_elems);
+  // Non-allocating variant: decodes into caller scratch (which must hold
+  // max_elems slots) and returns the element count. On malformed input the
+  // failure flag latches, 0 is returned and dst is untouched — decoders
+  // keep checking `ok() && at_end()` exactly as with u64_vec.
+  std::size_t u64_vec_into(std::uint64_t* dst, std::size_t max_elems);
   Bytes bytes(std::size_t max_len);
 
   // True iff no read has run past the end so far.

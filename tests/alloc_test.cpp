@@ -14,6 +14,9 @@
 #include <cstdlib>
 #include <new>
 
+#include "adversary/adversaries.h"
+#include "coin/fm_coin.h"
+#include "core/clock_sync.h"
 #include "sim/engine.h"
 #include "support/bytes.h"
 
@@ -133,6 +136,32 @@ TEST(AllocationFreeBeat, WithAdversary) {
   eng.run_beats(32);
   EXPECT_EQ(g_allocations - before, 0u)
       << "steady-state run_beat() with an adversary touched the heap";
+}
+
+// The full protocol stack — ss-Byz-Clock-Sync over three FM-coin pipelines
+// — must also run warm beats without touching the heap: coin instances are
+// reinit-recycled by the pipeline, all round state lives in flat scratch,
+// payload decode goes through u64_vec_into, and share recovery uses the
+// precomputed Lagrange tables (the faulty nodes are silent and carry the
+// highest ids, so every recovery sees the canonical prefix subset and the
+// Berlekamp-Welch slow path — which may allocate — never triggers).
+TEST(AllocationFreeBeat, FmCoinClockSyncStack) {
+  EngineConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+  cfg.faulty = EngineConfig::last_ids_faulty(4, 1);
+  cfg.seed = 5;
+  cfg.metrics_history_limit = 8;
+  CoinSpec spec = fm_coin_spec();
+  auto factory = [&spec](const ProtocolEnv& env, Rng rng) {
+    return std::make_unique<SsByzClockSync>(env, 64, spec, rng);
+  };
+  Engine eng(cfg, factory, make_silent_adversary());
+  eng.run_beats(96);  // pools, scratch and pipeline slots all settle
+  const std::size_t before = g_allocations;
+  eng.run_beats(32);
+  EXPECT_EQ(g_allocations - before, 0u)
+      << "steady-state FM-coin stack beat touched the heap";
 }
 
 }  // namespace

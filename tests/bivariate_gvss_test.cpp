@@ -192,6 +192,61 @@ TEST_P(GvssRecoverTest, RecoversWithSilentByzantine) {
   EXPECT_EQ(*s, dealing.secret());
 }
 
+TEST_P(GvssRecoverTest, TableFastPathMatchesClassicInterpolation) {
+  // The barycentric prefix table must be observationally equivalent to the
+  // classic lagrange_interpolate fast path for every share pattern: clean,
+  // with up to f injected Byzantine lies (inside and outside the prefix),
+  // and with subsets where the table does not apply and recovery falls
+  // back to the generic route.
+  const auto [n, f] = GetParam();
+  PrimeField F(2305843009213693951ULL);
+  GvssRecoverTable table(F, n, f);
+  Rng rng(n * 43 + f);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto dealing = GvssDealing::sample(F, f, rng);
+    std::vector<RsPoint> shares;
+    for (NodeId i = 0; i < n; ++i) {
+      Poly row(dealing.row_for(F, i));
+      shares.push_back({node_point(i), row.eval(F, 0)});
+    }
+    // Inject 0..f lies at random positions (prefix positions included, so
+    // the candidate itself can be poisoned).
+    const auto lies = rng.next_below(f + 1);
+    for (std::uint64_t l = 0; l < lies; ++l) {
+      shares[rng.next_below(n)].y = F.uniform(rng);
+    }
+    const auto with_table = gvss_recover(F, f, shares, &table);
+    const auto without = gvss_recover(F, f, shares);
+    ASSERT_EQ(with_table.has_value(), without.has_value()) << "trial " << trial;
+    if (with_table) EXPECT_EQ(*with_table, *without) << "trial " << trial;
+    // Non-canonical subset (first sender missing): the table cannot apply;
+    // both routes must still agree.
+    std::vector<RsPoint> tail(shares.begin() + 1, shares.end());
+    const auto tail_with = gvss_recover(F, f, tail, &table);
+    const auto tail_without = gvss_recover(F, f, tail);
+    ASSERT_EQ(tail_with.has_value(), tail_without.has_value());
+    if (tail_with) EXPECT_EQ(*tail_with, *tail_without);
+  }
+}
+
+TEST(Gvss, DealingResampleMatchesSample) {
+  // resample() must make the same draws as sample() so pipeline recycling
+  // is replay-identical to per-beat construction.
+  PrimeField F(2305843009213693951ULL);
+  Rng rng_a(123), rng_b(123);
+  auto fresh = GvssDealing::sample(F, 3, rng_a);
+  auto recycled = GvssDealing::sample(F, 3, rng_b);
+  // Warm `recycled` with different state, then re-deal from a synced rng.
+  Rng rng_c(456);
+  recycled.resample(F, 3, rng_c);
+  Rng rng_d(123);
+  recycled.resample(F, 3, rng_d);
+  EXPECT_EQ(recycled.secret(), fresh.secret());
+  for (NodeId i = 0; i < 10; ++i) {
+    EXPECT_EQ(recycled.row_for(F, i), fresh.row_for(F, i));
+  }
+}
+
 TEST(Gvss, RecoverFailsWithTooFewShares) {
   PrimeField F(101);
   EXPECT_FALSE(gvss_recover(F, 2, {{1, 5}, {2, 9}}).has_value());

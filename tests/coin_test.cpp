@@ -84,15 +84,19 @@ TEST(LocalCoin, RarelyCommonForManyNodes) {
 
 // --- Pipeline mechanics (Figure 1) ------------------------------------------
 
-// A scripted instance that records which rounds it executed, proving the
-// pipeline drives each instance through rounds 1..Delta exactly once and
-// in order.
+// A scripted instance that records which rounds each of its *lifetimes*
+// executed (a lifetime starts at construction or reinit), proving the
+// pipeline drives every logical instance through rounds 1..Delta exactly
+// once and in order, and recycles objects rather than reallocating.
 class ScriptedInstance final : public CoinInstance {
  public:
-  explicit ScriptedInstance(std::vector<int>* log) : log_(log) {}
+  explicit ScriptedInstance(std::vector<std::vector<int>>* logs)
+      : logs_(logs) {
+    start_lifetime();
+  }
   int rounds() const override { return 3; }
   void send_round(int round, Outbox&, ChannelId) override {
-    if (log_) log_->push_back(round);
+    if (logs_) (*logs_)[lifetime_].push_back(round);
   }
   void receive_round(int round, const Inbox&, ChannelId) override {
     last_round_ = round;
@@ -102,21 +106,31 @@ class ScriptedInstance final : public CoinInstance {
     EXPECT_EQ(last_round_, 3);
     return true;
   }
+  void reinit(Rng) override {
+    start_lifetime();
+    last_round_ = 0;
+  }
   void randomize_state(Rng&) override {}
 
  private:
-  std::vector<int>* log_;
+  void start_lifetime() {
+    if (logs_) {
+      logs_->emplace_back();
+      lifetime_ = logs_->size() - 1;
+    }
+  }
+
+  std::vector<std::vector<int>>* logs_;
+  std::size_t lifetime_ = 0;
   int last_round_ = 0;
 };
 
 TEST(CoinPipeline, DrivesEachInstanceThroughAllRoundsInOrder) {
   std::vector<std::vector<int>> logs;
-  logs.reserve(64);
   int created = 0;
   CoinInstanceFactory factory = [&](Rng) {
-    logs.emplace_back();
     ++created;
-    return std::make_unique<ScriptedInstance>(&logs.back());
+    return std::make_unique<ScriptedInstance>(&logs);
   };
   SsByzCoinFlip pipe(factory, 3, 0, Rng(1));
   EXPECT_EQ(created, 3);  // initial fill
@@ -126,12 +140,15 @@ TEST(CoinPipeline, DrivesEachInstanceThroughAllRoundsInOrder) {
     pipe.send_phase(out);
     EXPECT_TRUE(pipe.receive_phase(in));
   }
-  EXPECT_EQ(created, 9);  // one fresh instance per beat
-  // Every retired instance ran rounds 1, 2, 3 in order (instances created
-  // at genesis start mid-pipeline; fully-fresh ones get the whole ladder).
-  ASSERT_GE(logs.size(), 4u);
+  // Retired instances are reinit-recycled, never reallocated.
+  EXPECT_EQ(created, 3);
+  // 3 genesis lifetimes + one recycled lifetime per beat.
+  ASSERT_EQ(logs.size(), 9u);
+  // Every fully-fresh lifetime ran rounds 1, 2, 3 in order (genesis
+  // lifetimes start mid-pipeline; recycled ones get the whole ladder).
   EXPECT_EQ(logs[3], (std::vector<int>{1, 2, 3}));
   EXPECT_EQ(logs[4], (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(logs[5], (std::vector<int>{1, 2, 3}));
 }
 
 TEST(CoinPipeline, RejectsMismatchedDepth) {

@@ -109,6 +109,134 @@ TEST_P(FieldLawsTest, FermatLittleTheorem) {
   }
 }
 
+// --- Mersenne-61 fast path vs the generic reference -------------------------
+//
+// PrimeField dispatches to shift/add folding exactly when p = 2^61 - 1; the
+// reference below is the generic backend's formula, computed inline so the
+// two cannot share a code path.
+
+constexpr std::uint64_t kM61 = PrimeField::kDefaultPrime;
+
+std::uint64_t ref_mul_m61(std::uint64_t a, std::uint64_t b) {
+  return static_cast<std::uint64_t>(static_cast<unsigned __int128>(a) * b %
+                                    kM61);
+}
+
+TEST(Mersenne61, MulMatchesGenericReference) {
+  PrimeField F;
+  Rng rng(42);
+  // Edge elements: products of the largest pair reach (p-1)^2 > 2^121.
+  const std::vector<std::uint64_t> edge{
+      0, 1, 2, 3, (1ULL << 60) - 1, 1ULL << 60, kM61 / 2, kM61 - 2, kM61 - 1};
+  for (std::uint64_t a : edge) {
+    for (std::uint64_t b : edge) {
+      EXPECT_EQ(F.mul(a, b), ref_mul_m61(a, b)) << a << " * " << b;
+    }
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t a = F.uniform(rng), b = F.uniform(rng);
+    ASSERT_EQ(F.mul(a, b), ref_mul_m61(a, b)) << a << " * " << b;
+  }
+}
+
+TEST(Mersenne61, ReduceMatchesGenericReference) {
+  PrimeField F;
+  Rng rng(43);
+  const std::vector<std::uint64_t> edge{0,        1,         kM61 - 1, kM61,
+                                        kM61 + 1, 2 * kM61,  2 * kM61 + 1,
+                                        ~0ULL,    ~0ULL - 1, 1ULL << 61};
+  for (std::uint64_t v : edge) EXPECT_EQ(F.reduce(v), v % kM61) << v;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.next_u64();
+    ASSERT_EQ(F.reduce(v), v % kM61) << v;
+  }
+}
+
+TEST(Mersenne61, ExtendedEuclidInvMatchesFermat) {
+  PrimeField F;
+  Rng rng(44);
+  const std::vector<std::uint64_t> edge{1, 2, kM61 - 1, kM61 - 2, kM61 / 2};
+  for (std::uint64_t a : edge) {
+    EXPECT_EQ(F.inv(a), F.pow(a, kM61 - 2)) << a;
+    EXPECT_EQ(F.mul(a, F.inv(a)), 1u) << a;
+  }
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = F.uniform_nonzero(rng);
+    ASSERT_EQ(F.inv(a), F.pow(a, kM61 - 2)) << a;
+  }
+}
+
+TEST(PrimeField, InvHandlesModuliAboveTwoTo63) {
+  // Bezout coefficients overflow int64 for p near 2^64; the extended
+  // Euclid must track them wide. Largest 64-bit prime:
+  PrimeField F(18446744073709551557ULL);
+  Rng rng(45);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t a = F.uniform_nonzero(rng);
+    ASSERT_EQ(F.mul(a, F.inv(a)), 1u) << a;
+  }
+}
+
+class BatchKernelsTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Both backends: the Mersenne prime exercises the folded loops, the others
+// the generic ones.
+INSTANTIATE_TEST_SUITE_P(Moduli, BatchKernelsTest,
+                         ::testing::Values(65537ULL, kM61,
+                                           18446744073709551557ULL));
+
+TEST_P(BatchKernelsTest, MulScaleSubmulMatchScalarOps) {
+  PrimeField F(GetParam());
+  Rng rng(GetParam() % 1000 + 7);
+  const std::size_t len = 257;
+  std::vector<std::uint64_t> a(len), b(len), out(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    a[i] = F.uniform(rng);
+    b[i] = F.uniform(rng);
+  }
+  const std::uint64_t c = F.uniform(rng);
+  F.mul_vec(a.data(), b.data(), out.data(), len);
+  for (std::size_t i = 0; i < len; ++i) ASSERT_EQ(out[i], F.mul(a[i], b[i]));
+  F.scale_vec(a.data(), c, out.data(), len);
+  for (std::size_t i = 0; i < len; ++i) ASSERT_EQ(out[i], F.mul(a[i], c));
+  std::vector<std::uint64_t> dst = a;
+  F.submul_vec(dst.data(), b.data(), c, len);
+  for (std::size_t i = 0; i < len; ++i) {
+    ASSERT_EQ(dst[i], F.sub(a[i], F.mul(b[i], c)));
+  }
+}
+
+TEST_P(BatchKernelsTest, BatchInvMatchesScalarInv) {
+  PrimeField F(GetParam());
+  Rng rng(GetParam() % 1000 + 8);
+  for (std::size_t len : {std::size_t{1}, std::size_t{2}, std::size_t{65}}) {
+    std::vector<std::uint64_t> vals(len), scratch(len);
+    for (auto& v : vals) v = F.uniform_nonzero(rng);
+    // Include the edge element p-1 (its own inverse).
+    vals[0] = F.modulus() - 1;
+    const std::vector<std::uint64_t> orig = vals;
+    F.batch_inv(vals.data(), len, scratch.data());
+    for (std::size_t i = 0; i < len; ++i) {
+      ASSERT_EQ(vals[i], F.inv(orig[i])) << "len=" << len << " i=" << i;
+    }
+  }
+}
+
+TEST_P(BatchKernelsTest, EvalManyMatchesHorner) {
+  PrimeField F(GetParam());
+  Rng rng(GetParam() % 1000 + 9);
+  Poly p = Poly::random(F, 7, rng);
+  const std::size_t m = 33;
+  std::vector<std::uint64_t> xs(m), out(m);
+  for (auto& x : xs) x = F.uniform(rng);
+  F.eval_many(p.coeffs().data(), p.coeffs().size(), xs.data(), m, out.data());
+  for (std::size_t k = 0; k < m; ++k) {
+    ASSERT_EQ(out[k], p.eval(F, xs[k]));
+    ASSERT_EQ(out[k], Poly::eval_raw(F, p.coeffs().data(), p.coeffs().size(),
+                                     xs[k]));
+  }
+}
+
 TEST(PrimeField, UniformStaysInRange) {
   PrimeField F(101);
   Rng rng(4);
@@ -163,6 +291,50 @@ TEST(Poly, DivmodRoundTrip) {
 TEST(Poly, DivisionByZeroRejected) {
   PrimeField F(101);
   EXPECT_THROW(Poly({1, 2}).divmod(F, Poly()), contract_error);
+}
+
+TEST(Poly, DivmodZeroDividend) {
+  PrimeField F(101);
+  auto [q, r] = Poly().divmod(F, Poly({3, 1}));
+  EXPECT_TRUE(q.is_zero());
+  EXPECT_TRUE(r.is_zero());
+}
+
+TEST(Poly, DivmodLowerDegreeDividendIsIdentityRemainder) {
+  PrimeField F(101);
+  Poly a({7, 5});           // degree 1
+  Poly d({1, 2, 3, 4});     // degree 3
+  auto [q, r] = a.divmod(F, d);
+  EXPECT_TRUE(q.is_zero());
+  EXPECT_EQ(r, a);
+}
+
+TEST(Poly, DivmodEqualDegrees) {
+  PrimeField F(65537);
+  Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    Poly a = Poly::random(F, 4, rng);
+    Poly d = Poly::random(F, 4, rng);
+    if (a.degree() != 4 || d.degree() != 4) continue;
+    auto [q, r] = a.divmod(F, d);
+    EXPECT_EQ(q.degree(), 0);
+    EXPECT_LT(r.degree(), d.degree());
+    EXPECT_EQ(q.mul(F, d).add(F, r), a);
+  }
+}
+
+TEST(Poly, ScratchVariantsMatchValueApi) {
+  PrimeField F(65537);
+  Rng rng(10);
+  std::vector<std::uint64_t> scratch;  // reused across iterations
+  for (int i = 0; i < 30; ++i) {
+    Poly a = Poly::random(F, 5, rng);
+    Poly b = Poly::random(F, 3, rng);
+    a.add_into(F, b, scratch);
+    EXPECT_EQ(Poly(scratch), a.add(F, b));
+    a.mul_into(F, b, scratch);
+    EXPECT_EQ(Poly(scratch), a.mul(F, b));
+  }
 }
 
 TEST(Poly, RandomWithConstantPinsSecret) {

@@ -5,6 +5,7 @@
 
 #include <set>
 
+#include "support/bitwords.h"
 #include "support/bytes.h"
 #include "support/check.h"
 #include "support/rng.h"
@@ -237,6 +238,79 @@ TEST(Bytes, AtEndRequiresFullConsumption) {
   EXPECT_EQ(r.u8(), 7);
   EXPECT_TRUE(r.ok());
   EXPECT_FALSE(r.at_end());  // one byte left over: trailing garbage
+}
+
+TEST(Bytes, U64VecIntoMatchesAllocatingDecode) {
+  ByteWriter w;
+  w.u64_vec({5, 6, 7});
+  std::uint64_t scratch[8] = {0};
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u64_vec_into(scratch, 8), 3u);
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(scratch[0], 5u);
+  EXPECT_EQ(scratch[1], 6u);
+  EXPECT_EQ(scratch[2], 7u);
+}
+
+TEST(Bytes, U64VecIntoRejectsSameInputsAsAllocatingDecode) {
+  std::uint64_t scratch[4] = {0};
+  {
+    ByteWriter w;
+    w.u32(0x80000000u);  // hostile length prefix
+    ByteReader r(w.data());
+    EXPECT_EQ(r.u64_vec_into(scratch, 4), 0u);
+    EXPECT_FALSE(r.ok());
+  }
+  {
+    ByteWriter w;
+    w.u64_vec({1, 2, 3, 4});  // above cap
+    ByteReader r(w.data());
+    EXPECT_EQ(r.u64_vec_into(scratch, 3), 0u);
+    EXPECT_FALSE(r.ok());
+  }
+  {
+    ByteWriter w;
+    w.u32(5);  // claims 5 u64s, provides none
+    ByteReader r(w.data());
+    EXPECT_EQ(r.u64_vec_into(scratch, 16), 0u);
+    EXPECT_FALSE(r.ok());
+  }
+}
+
+TEST(Bytes, U64VecFlatOverloadMatchesVectorOverload) {
+  const std::vector<std::uint64_t> v{9, 8, 7, 6};
+  ByteWriter a, b;
+  a.u64_vec(v);
+  b.u64_vec(v.data(), v.size());
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(Bitwords, GetSetRoundTripAcrossWordBoundaries) {
+  std::uint64_t words[3] = {0, 0, 0};
+  ASSERT_EQ(bitword_count(130), 3u);
+  for (std::size_t i : {std::size_t{0}, std::size_t{1}, std::size_t{63},
+                        std::size_t{64}, std::size_t{65}, std::size_t{127},
+                        std::size_t{128}, std::size_t{129}}) {
+    EXPECT_FALSE(bitword_get(words, i));
+    bitword_set(words, i, true);
+    EXPECT_TRUE(bitword_get(words, i)) << i;
+  }
+  bitword_set(words, 64, false);
+  EXPECT_FALSE(bitword_get(words, 64));
+  EXPECT_TRUE(bitword_get(words, 63));
+  EXPECT_TRUE(bitword_get(words, 65));
+  bitword_clear(words, 130);
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(bitword_get(words, i));
+}
+
+TEST(Bitwords, LayoutMatchesWireFormat) {
+  // Bit i in word i/64 at position i%64 — the vote-mask wire layout.
+  std::uint64_t words[2] = {0, 0};
+  bitword_set(words, 0, true);
+  bitword_set(words, 5, true);
+  bitword_set(words, 64, true);
+  EXPECT_EQ(words[0], (std::uint64_t{1} << 0) | (std::uint64_t{1} << 5));
+  EXPECT_EQ(words[1], std::uint64_t{1});
 }
 
 TEST(Bytes, HexFormatting) {
