@@ -68,6 +68,8 @@ struct World {
   ClockValue k = 64;
   Attack attack = Attack::kSkew;
   CoinKind coin = CoinKind::kOracle;
+  // Per-channel byte accounting (bench_message_complexity's breakdown).
+  bool track_channel_bytes = false;
 };
 
 inline EngineConfig world_config(const World& w, std::uint64_t seed) {
@@ -76,6 +78,7 @@ inline EngineConfig world_config(const World& w, std::uint64_t seed) {
   cfg.f = w.f;
   cfg.faulty = EngineConfig::last_ids_faulty(w.n, w.actual);
   cfg.seed = seed;
+  cfg.track_channel_bytes = w.track_channel_bytes;
   return cfg;
 }
 

@@ -298,6 +298,75 @@ BENCHMARK(BM_BeatLoop)
     ->Args({16, 0})->Args({16, 1})->Args({16, 2})
     ->Args({64, 0})->Args({64, 1})->Args({64, 2});
 
+// Broadcast-heavy variant: every node broadcasts an n-word vector on each
+// of four channels per beat — the FM coin's GVSS traffic shape. This is
+// the path the copy-once payload fabric targets: with shared payloads the
+// per-beat memcpy volume is O(n * B) (one encode per broadcast) instead of
+// O(n^2 * B) (one copy per recipient).
+class BroadcastHeavyProtocol final : public ClockProtocol {
+ public:
+  explicit BroadcastHeavyProtocol(const ProtocolEnv& env)
+      : env_(env), vec_(env.n) {}
+
+  void send_phase(Outbox& out) override {
+    for (ChannelId ch = 0; ch < 4; ++ch) {
+      for (std::uint32_t i = 0; i < env_.n; ++i) {
+        vec_[i] = state_ + ch * 1000 + i;
+      }
+      ByteWriter& w = out.writer();
+      w.u64_vec(vec_.data(), vec_.size());
+      out.broadcast(ch, w.data());
+    }
+  }
+
+  void receive_phase(const Inbox& in) override {
+    std::uint64_t acc = 0;
+    for (ChannelId ch = 0; ch < 4; ++ch) {
+      for (const Bytes* p : in.first_per_sender(ch)) {
+        if (p == nullptr) continue;
+        ByteReader r(*p);
+        acc += r.u64_vec_into(vec_.data(), vec_.size());
+      }
+    }
+    state_ += acc + 1;
+  }
+
+  void randomize_state(Rng& rng) override { state_ = rng.next_u64(); }
+  ClockValue clock() const override { return state_ % 4; }
+  ClockValue modulus() const override { return 4; }
+  std::uint32_t channel_count() const override { return 4; }
+
+ private:
+  ProtocolEnv env_;
+  std::vector<std::uint64_t> vec_;
+  std::uint64_t state_ = 0;
+};
+
+void BM_BeatLoopBroadcast(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t f = (n - 1) / 3;
+  EngineConfig cfg;
+  cfg.n = n;
+  cfg.f = f;
+  cfg.faulty = EngineConfig::last_ids_faulty(n, f);
+  cfg.seed = 23;
+  cfg.metrics_history_limit = 8;
+  auto factory = [](const ProtocolEnv& env, Rng) {
+    return std::make_unique<BroadcastHeavyProtocol>(env);
+  };
+  Engine eng(cfg, factory,
+             f > 0 ? std::unique_ptr<Adversary>(new BeatLoopAdversary)
+                   : nullptr);
+  eng.run_beats(8);  // settle buffers before timing
+  for (auto _ : state) {
+    eng.run_beat();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["bytes_per_beat"] =
+      eng.metrics().mean_correct_bytes_per_beat();
+}
+BENCHMARK(BM_BeatLoopBroadcast)->ArgName("n")->Arg(4)->Arg(16)->Arg(64);
+
 // Whole-stack beat throughput: ss-Byz-Clock-Sync + FM coin + skew attack.
 void BM_FullStackBeat(benchmark::State& state) {
   const auto f = static_cast<std::uint32_t>(state.range(0));

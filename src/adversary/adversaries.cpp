@@ -185,7 +185,7 @@ class AdaptiveQuorumSplitter final : public Adversary {
 class FmCoinAttacker final : public Adversary {
  public:
   FmCoinAttacker(std::uint64_t prime, ChannelId base)
-      : field_(prime), base_(base) {}
+      : field_(prime), value_bits_(field_.value_bits()), base_(base) {}
 
   void act(AdversaryContext& ctx) override {
     const std::uint32_t n = ctx.n();
@@ -196,14 +196,18 @@ class FmCoinAttacker final : public Adversary {
     for (NodeId from : ctx.faulty()) {
       now.rows[from].assign(n, std::nullopt);
     }
+    coeffs_.resize(std::size_t{f} + 1);
     for (const Message& m : ctx.observed()) {
       if (m.channel != base_) continue;
       auto it = now.rows.find(m.to);
       if (it == now.rows.end()) continue;
       ByteReader r(m.payload);
-      const auto coeffs = r.u64_vec(std::size_t{f} + 1);
-      if (!r.at_end()) continue;
-      it->second[m.from] = validate_row(field_, f, coeffs);
+      if (!r.masked_u64_vec_into(coeffs_.data(), coeffs_.size(),
+                                 field_.modulus(), value_bits_) ||
+          !r.at_end()) {
+        continue;
+      }
+      it->second[m.from] = validate_row(field_, f, coeffs_);
     }
     for (NodeId self : ctx.faulty()) {
       now.dealings.emplace(
@@ -231,7 +235,8 @@ class FmCoinAttacker final : public Adversary {
         Poly row = dealing.row(field_, node_point(to));
         auto coeffs = row.coeffs();
         coeffs.resize(std::size_t{f} + 1, 0);
-        w.u64_vec(coeffs);
+        w.masked_u64_vec(coeffs.data(), coeffs.size(), field_.modulus(),
+                         value_bits_);
         ctx.send(self, to, base_, w.data());
       }
       // Round 2: honest cross values (keeps every dealing's happy set
@@ -248,17 +253,20 @@ class FmCoinAttacker final : public Adversary {
               }
             }
             ByteWriter w;
-            w.u64_vec(vals);
+            w.masked_u64_vec(vals.data(), vals.size(), field_.modulus(),
+                             value_bits_);
             ctx.send(self, to, static_cast<ChannelId>(base_ + 1), w.data());
           }
         }
       }
       // Round 3: vote happy on everything, to everyone — maximizes the
-      // number of dealings whose recovery we can pollute.
+      // number of dealings whose recovery we can pollute. Bits >= n must
+      // stay clear: the strict bits codec rejects padding garbage.
       {
         std::vector<std::uint64_t> mask((n + 63) / 64, ~std::uint64_t{0});
+        if (n % 64 != 0) mask.back() = (std::uint64_t{1} << (n % 64)) - 1;
         ByteWriter w;
-        w.u64_vec(mask);
+        w.bits(mask.data(), n);
         ctx.broadcast(self, static_cast<ChannelId>(base_ + 2), w.data());
       }
       // Round 4: share equivocation — true shares to even ids, garbage to
@@ -281,7 +289,8 @@ class FmCoinAttacker final : public Adversary {
               for (auto& v : vals) v = field_.uniform(ctx.rng());
             }
             ByteWriter w;
-            w.u64_vec(vals);
+            w.masked_u64_vec(vals.data(), vals.size(), field_.modulus(),
+                             value_bits_);
             ctx.send(self, to, static_cast<ChannelId>(base_ + 3), w.data());
           }
         }
@@ -299,7 +308,9 @@ class FmCoinAttacker final : public Adversary {
   };
 
   PrimeField field_;
+  unsigned value_bits_;  // cached; the codec calls sit in per-message loops
   ChannelId base_;
+  std::vector<std::uint64_t> coeffs_;  // deal-decode scratch, reused per act
   std::deque<BeatRecord> hist_;  // [0] = previous beat, [1] = two ago, ...
 };
 

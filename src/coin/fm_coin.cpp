@@ -44,6 +44,7 @@ FmCoinInstance::FmCoinInstance(const ProtocolEnv& env,
       scratch_(scratch != nullptr ? std::move(scratch)
                                   : std::make_shared<FmCoinScratch>()),
       words_(bitword_count(env.n)),
+      value_bits_(field_.value_bits()),
       row_valid_(env.n, 0),
       row_evals_(std::size_t{env.n} * (env.n + 1), 0),
       cross_matches_(env.n, 0),
@@ -92,13 +93,16 @@ void FmCoinInstance::receive_round(int round, const Inbox& in,
   }
 }
 
-// Round 1 — share phase: as dealer, send node j its row F(x_j, y).
+// Round 1 — share phase: as dealer, send node j its row F(x_j, y). A
+// correct dealer's row is all-present; the masked codec still pays off via
+// the packed value width and the dropped length prefix.
 void FmCoinInstance::send_deal(Outbox& out, ChannelId ch) {
   const std::size_t width = std::size_t{env_.f} + 1;
   for (NodeId j = 0; j < env_.n; ++j) {
     dealing_.row_into(field_, j, scratch_->row_buf.data());
     ByteWriter& w = out.writer();
-    w.u64_vec(scratch_->row_buf.data(), width);
+    w.masked_u64_vec(scratch_->row_buf.data(), width, sentinel(field_),
+                     value_bits_);
     out.send(j, ch, w.data());
   }
 }
@@ -110,9 +114,15 @@ void FmCoinInstance::recv_deal(const Inbox& in, ChannelId ch) {
     row_valid_[d] = 0;
     if (payloads[d] == nullptr) continue;
     ByteReader r(*payloads[d]);
-    const std::size_t count = r.u64_vec_into(scratch_->row_buf.data(), width);
-    if (!r.at_end()) continue;
-    if (!validate_row_raw(field_, env_.f, scratch_->row_buf.data(), count)) {
+    // Masked-out coefficients decode to the sentinel, which
+    // validate_row_raw rejects as non-canonical — a Byzantine dealer gains
+    // nothing by masking.
+    if (!r.masked_u64_vec_into(scratch_->row_buf.data(), width,
+                               sentinel(field_), value_bits_) ||
+        !r.at_end()) {
+      continue;
+    }
+    if (!validate_row_raw(field_, env_.f, scratch_->row_buf.data(), width)) {
       continue;
     }
     row_valid_[d] = 1;
@@ -133,7 +143,8 @@ void FmCoinInstance::send_cross(Outbox& out, ChannelId ch) {
       scratch_->vals[d] = row_valid_[d] ? eval_at_node(d, j) : sentinel(field_);
     }
     ByteWriter& w = out.writer();
-    w.u64_vec(scratch_->vals.data(), env_.n);
+    w.masked_u64_vec(scratch_->vals.data(), env_.n, sentinel(field_),
+                     value_bits_);
     out.send(j, ch, w.data());
   }
 }
@@ -144,8 +155,11 @@ void FmCoinInstance::recv_cross(const Inbox& in, ChannelId ch) {
   for (NodeId j = 0; j < env_.n; ++j) {
     if (payloads[j] == nullptr) continue;
     ByteReader r(*payloads[j]);
-    const std::size_t count = r.u64_vec_into(scratch_->vals.data(), env_.n);
-    if (!r.at_end() || count != env_.n) continue;
+    if (!r.masked_u64_vec_into(scratch_->vals.data(), env_.n,
+                               sentinel(field_), value_bits_) ||
+        !r.at_end()) {
+      continue;
+    }
     for (NodeId d = 0; d < env_.n; ++d) {
       if (!row_valid_[d] || !field_.valid(scratch_->vals[d])) continue;
       if (eval_at_node(d, j) == scratch_->vals[d]) ++cross_matches_[d];
@@ -158,10 +172,11 @@ void FmCoinInstance::recv_cross(const Inbox& in, ChannelId ch) {
   }
 }
 
-// Round 3 — decide phase: broadcast my happy votes.
+// Round 3 — decide phase: broadcast my happy votes as a raw ceil(n/8)-byte
+// bitmask (bits >= n stay clear; bitword storage keeps them so).
 void FmCoinInstance::send_votes(Outbox& out, ChannelId ch) {
   ByteWriter& w = out.writer();
-  w.u64_vec(happy_words_.data(), words_);
+  w.bits(happy_words_.data(), env_.n);
   out.broadcast(ch, w.data());
 }
 
@@ -173,8 +188,7 @@ void FmCoinInstance::recv_votes(const Inbox& in, ChannelId ch) {
     if (payloads[j] == nullptr) continue;
     ByteReader r(*payloads[j]);
     std::uint64_t* row = voted_words_.data() + std::size_t{j} * words_;
-    const std::size_t count = r.u64_vec_into(row, words_);
-    if (!r.at_end() || count != words_) continue;
+    if (!r.bits_into(row, env_.n) || !r.at_end()) continue;
     vote_valid_[j] = 1;
     for (NodeId d = 0; d < env_.n; ++d) {
       if (bitword_get(row, d)) ++scratch_->votes[d];
@@ -193,7 +207,8 @@ void FmCoinInstance::send_shares(Outbox& out, ChannelId ch) {
     scratch_->vals[d] = row_valid_[d] ? eval_at_zero(d) : sentinel(field_);
   }
   ByteWriter& w = out.writer();
-  w.u64_vec(scratch_->vals.data(), env_.n);
+  w.masked_u64_vec(scratch_->vals.data(), env_.n, sentinel(field_),
+                   value_bits_);
   out.broadcast(ch, w.data());
 }
 
@@ -204,9 +219,12 @@ void FmCoinInstance::recv_shares(const Inbox& in, ChannelId ch) {
     scratch_->shares_ok[j] = 0;
     if (payloads[j] == nullptr) continue;
     ByteReader r(*payloads[j]);
-    const std::size_t count = r.u64_vec_into(
-        scratch_->shares.data() + std::size_t{j} * env_.n, env_.n);
-    if (!r.at_end() || count != env_.n) continue;
+    if (!r.masked_u64_vec_into(
+            scratch_->shares.data() + std::size_t{j} * env_.n, env_.n,
+            sentinel(field_), value_bits_) ||
+        !r.at_end()) {
+      continue;
+    }
     scratch_->shares_ok[j] = 1;
   }
   std::uint64_t sum = 0;

@@ -29,6 +29,20 @@
 // attacker, and the clock layer above consumes only the measured
 // constants.
 //
+// Wire format (compact, PR 4)
+// ---------------------------
+// Deal, cross and share vectors travel as masked field vectors
+// (ByteWriter::masked_u64_vec): a validity bitmask (1 bit per entry, the
+// sentinel "no value" entries masked out) followed by the present values
+// bit-packed at field.value_bits() bits each (61 for the default Mersenne
+// prime instead of 64, and no length prefix — the vector length is fixed
+// by (n, f), which both sides know). Vote masks travel as raw
+// ceil(n/8)-byte bitmasks (ByteWriter::bits). Decoding is strict: mask or
+// padding garbage, truncation and trailing bytes are all rejected exactly
+// like the old u64_vec `at_end()` contract, and a masked-out entry decodes
+// to the sentinel, so the round logic is unchanged — only the bytes on the
+// wire shrink (a missing row costs 1 bit, not 8 bytes).
+//
 // Hot-path layout
 // ---------------
 // All per-dealer state is flat uint64 storage: each received row is
@@ -125,7 +139,8 @@ class FmCoinInstance final : public CoinInstance {
   Rng rng_;
   GvssDealing dealing_;  // my own secret's dealing
   std::shared_ptr<FmCoinScratch> scratch_;
-  std::size_t words_;  // bitword_count(n)
+  std::size_t words_;    // bitword_count(n)
+  unsigned value_bits_;  // field_.value_bits(), for the masked wire codec
 
   // Per dealer d: whether my row of d's dealing is valid, and its
   // evaluations at 0 and every node point (n x (n+1) flat table) — the one

@@ -47,6 +47,14 @@ class PrimeField {
   // True iff v is a canonical representative (< p).
   bool valid(std::uint64_t v) const { return v < p_; }
 
+  // Bits needed for a canonical representative: bit width of p - 1 (never
+  // 0; p >= 2). The compact wire codec packs field elements at this width.
+  unsigned value_bits() const {
+    unsigned bits = 0;
+    for (std::uint64_t m = p_ - 1; m != 0; m >>= 1) ++bits;
+    return bits == 0 ? 1 : bits;
+  }
+
   // Canonicalize an arbitrary 64-bit value (used on untrusted input).
   std::uint64_t reduce(std::uint64_t v) const {
     if (mersenne61_) {

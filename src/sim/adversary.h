@@ -20,18 +20,31 @@ namespace ssbft {
 
 class AdversaryContext {
  public:
-  // `pool` and `sink` may be null for standalone use (tests); the engine
-  // passes its per-beat scratch so adversary traffic recycles payload
-  // storage like every other message (see message.h for the ownership
-  // rules).
+  // `pool`, `sink` and `is_faulty` may be null for standalone use (tests);
+  // the engine passes its per-beat scratch so adversary traffic recycles
+  // payload storage like every other message (see message.h for the
+  // ownership rules), and its persistent is-faulty bitmap so the per-send
+  // sender check is O(1) instead of a linear scan over `faulty`. Without
+  // one, the context builds its own bitmap from `faulty` (a one-time
+  // allocation, acceptable standalone).
   AdversaryContext(std::uint32_t n, std::uint32_t f,
                    const std::vector<NodeId>& faulty, Beat beat,
                    const std::vector<Message>& observed, Rng& rng,
                    std::uint32_t channel_count, BytesPool* pool = nullptr,
-                   std::vector<Message>* sink = nullptr)
+                   std::vector<Message>* sink = nullptr,
+                   const std::vector<bool>* is_faulty = nullptr)
       : n_(n), f_(f), faulty_(faulty), beat_(beat), observed_(observed),
         rng_(rng), channel_count_(channel_count), external_pool_(pool),
-        sink_(sink != nullptr ? sink : &owned_sends_) {}
+        sink_(sink != nullptr ? sink : &owned_sends_),
+        is_faulty_(is_faulty) {
+    if (is_faulty_ == nullptr) {
+      owned_bitmap_.assign(n_, false);
+      for (NodeId id : faulty_) {
+        if (id < n_) owned_bitmap_[id] = true;
+      }
+      is_faulty_ = &owned_bitmap_;
+    }
+  }
 
   std::uint32_t n() const { return n_; }
   std::uint32_t f() const { return f_; }
@@ -48,13 +61,15 @@ class AdversaryContext {
   // Emit a message from a faulty node. `from` must be faulty. The payload
   // is copied into pooled storage; the caller keeps its buffer.
   void send(NodeId from, NodeId to, ChannelId channel, const Bytes& payload);
-  // Same payload from `from` to every node.
+  // Same payload from `from` to every node. Encodes into pooled storage
+  // once; all n messages alias the buffer (see message.h).
   void broadcast(NodeId from, ChannelId channel, const Bytes& payload);
 
   const std::vector<Message>& sends() const { return *sink_; }
 
  private:
   BytesPool& pool() { return external_pool_ ? *external_pool_ : owned_pool_; }
+  void require_faulty_sender(NodeId from) const;
 
   std::uint32_t n_, f_;
   const std::vector<NodeId>& faulty_;
@@ -66,6 +81,8 @@ class AdversaryContext {
   BytesPool owned_pool_;
   std::vector<Message> owned_sends_;
   std::vector<Message>* sink_;
+  const std::vector<bool>* is_faulty_;
+  std::vector<bool> owned_bitmap_;
 };
 
 class Adversary {

@@ -6,22 +6,30 @@
 
 namespace ssbft {
 
+void AdversaryContext::require_faulty_sender(NodeId from) const {
+  SSBFT_REQUIRE_MSG(from < n_ && (*is_faulty_)[from],
+                    "adversary may only send from faulty nodes (sender "
+                    "identity is unforgeable, Definition 2.2.2)");
+}
+
 void AdversaryContext::send(NodeId from, NodeId to, ChannelId channel,
                             const Bytes& payload) {
   SSBFT_REQUIRE_MSG(to < n_, "adversary send target out of range");
-  const bool from_is_faulty =
-      std::find(faulty_.begin(), faulty_.end(), from) != faulty_.end();
-  SSBFT_REQUIRE_MSG(from_is_faulty,
-                    "adversary may only send from faulty nodes (sender "
-                    "identity is unforgeable, Definition 2.2.2)");
-  Bytes b = pool().acquire();
-  b.assign(payload.begin(), payload.end());
+  require_faulty_sender(from);
+  SharedBytes b = pool().acquire();
+  b.mutable_bytes().assign(payload.begin(), payload.end());
   sink_->push_back(Message{from, to, channel, std::move(b)});
 }
 
 void AdversaryContext::broadcast(NodeId from, ChannelId channel,
                                  const Bytes& payload) {
-  for (NodeId to = 0; to < n_; ++to) send(from, to, channel, payload);
+  require_faulty_sender(from);
+  // Copy once; all n messages alias the slot (message.h ownership rules).
+  SharedBytes b = pool().acquire();
+  b.mutable_bytes().assign(payload.begin(), payload.end());
+  for (NodeId to = 0; to < n_; ++to) {
+    sink_->push_back(Message{from, to, channel, b});
+  }
 }
 
 std::vector<NodeId> EngineConfig::last_ids_faulty(std::uint32_t n,
@@ -67,7 +75,10 @@ Engine::Engine(EngineConfig cfg, const ProtocolFactory& factory,
   }
   inboxes_.reserve(cfg_.n);
   for (NodeId id = 0; id < cfg_.n; ++id) {
-    inboxes_.emplace_back(cfg_.n, channel_count_, &pool_);
+    inboxes_.emplace_back(cfg_.n, channel_count_);
+  }
+  if (cfg_.track_channel_bytes) {
+    channel_bytes_.assign(channel_count_, 0);
   }
   // Send phases write straight into the beat scratch; no drain pass.
   outbox_.bind_sink(&correct_msgs_);
@@ -103,9 +114,9 @@ void Engine::corrupt_node(NodeId id) {
   protocols_[id]->randomize_state(corrupt_rng_);
 }
 
-void Engine::recycle(std::vector<Message>& msgs) {
-  for (Message& m : msgs) pool_.release(std::move(m.payload));
-  msgs.clear();
+void Engine::reset_channel_bytes() {
+  std::fill(channel_bytes_.begin(), channel_bytes_.end(), 0);
+  channel_bytes_beats_ = 0;
 }
 
 void Engine::run_beat() {
@@ -128,27 +139,46 @@ void Engine::run_beat() {
     protocols_[id]->send_phase(outbox_);
     metrics_.count_correct_bulk(outbox_.sent_messages(), outbox_.sent_bytes());
   }
+  if (cfg_.track_channel_bytes) {
+    for (const Message& m : correct_msgs_) {
+      if (m.channel < channel_bytes_.size()) {
+        channel_bytes_[m.channel] += m.payload.size();
+      }
+    }
+    ++channel_bytes_beats_;
+  }
 
   // 2. Adversary turn (rushing): it sees exactly the beat-r messages
   //    addressed to faulty nodes, then commits the faulty nodes' sends.
+  //    The observed view borrows the payload handles — no byte copies.
   if (adversary_ != nullptr && !cfg_.faulty.empty()) {
     for (const Message& m : correct_msgs_) {
       if (!is_faulty_[m.to]) continue;
-      Bytes b = pool_.acquire();
-      b.assign(m.payload.begin(), m.payload.end());
-      observed_.push_back(Message{m.from, m.to, m.channel, std::move(b)});
+      observed_.push_back(m);
     }
     AdversaryContext ctx(cfg_.n, cfg_.f, cfg_.faulty, beat_, observed_,
-                         adv_rng_, channel_count_, &pool_, &adv_msgs_);
+                         adv_rng_, channel_count_, &pool_, &adv_msgs_,
+                         &is_faulty_);
     adversary_->act(ctx);
     std::uint64_t adv_bytes = 0;
     for (const Message& m : adv_msgs_) adv_bytes += m.payload.size();
     metrics_.count_adversary_bulk(adv_msgs_.size(), adv_bytes);
   }
 
-  // 3. Delivery (with network faults during the faulty prefix).
+  // 3. Delivery (with network faults during the faulty prefix). Inboxes
+  //    were cleared at the end of the previous beat. Under a lossy network
+  //    the delivered count per inbox is random, so pre-reserve to the
+  //    deterministic pre-drop addressed count — otherwise inbox capacity
+  //    chases record peaks and the steady state would keep allocating.
   const bool network_faulty = beat_ < cfg_.faults.network_faulty_until;
-  for (Inbox& ib : inboxes_) ib.clear();
+  if (network_faulty && cfg_.faults.faulty_drop_prob > 0.0) {
+    addressed_.assign(cfg_.n, 0);
+    for (const Message& m : correct_msgs_) ++addressed_[m.to];
+    for (const Message& m : adv_msgs_) ++addressed_[m.to];
+    for (NodeId id : correct_ids_) {
+      inboxes_[id].reserve(addressed_[id] + cfg_.faults.phantoms_per_beat);
+    }
+  }
   deliver(correct_msgs_, net_rng_, network_faulty);
   deliver(adv_msgs_, net_rng_, network_faulty);
   if (network_faulty) inject_phantoms(net_rng_);
@@ -158,11 +188,17 @@ void Engine::run_beat() {
     protocols_[id]->receive_phase(inboxes_[id]);
   }
 
-  // Reset the beat scratch. Delivery moved every payload into an inbox or
-  // back to the pool; observed_ still owns its copies.
+  // Reset the beat scratch and the inboxes. Clearing drops every payload
+  // handle of the beat — delivered, dropped and observed alike — in one
+  // place, recycling last-referenced slots into the pool. Releasing
+  // everything here (rather than at the drop sites) keeps the pool's
+  // per-beat slot demand a deterministic function of the traffic shape,
+  // independent of drop patterns: once the pool has grown to one beat's
+  // worth of slots, no beat ever allocates again, lossy network or not.
   correct_msgs_.clear();
   adv_msgs_.clear();
-  recycle(observed_);
+  observed_.clear();
+  for (Inbox& ib : inboxes_) ib.clear();
 
   ++beat_;
 }
@@ -173,14 +209,14 @@ void Engine::run_beats(std::uint64_t count) {
 
 void Engine::deliver(std::vector<Message>& msgs, Rng& net_rng,
                      bool network_faulty) {
+  // Dropped messages keep their handle in the beat scratch until the
+  // end-of-beat reset (see run_beat): releasing mid-beat would make the
+  // pool's slot demand depend on the random drop pattern, and the pool
+  // would keep growing on every new record peak instead of settling.
   for (Message& m : msgs) {
-    if (is_faulty_[m.to]) {  // faulty inboxes live in the adversary
-      pool_.release(std::move(m.payload));
-      continue;
-    }
+    if (is_faulty_[m.to]) continue;  // faulty inboxes live in the adversary
     if (network_faulty && cfg_.faults.faulty_drop_prob > 0.0 &&
         net_rng.next_bernoulli(cfg_.faults.faulty_drop_prob)) {
-      pool_.release(std::move(m.payload));
       continue;
     }
     inboxes_[m.to].deliver(std::move(m));
@@ -202,9 +238,24 @@ void Engine::inject_phantoms(Rng& net_rng) {
       // not wrap the bound to zero.
       const std::uint64_t len = net_rng.next_below(
           static_cast<std::uint64_t>(cfg_.faults.phantom_max_len) + 1);
-      m.payload = pool_.acquire();
-      m.payload.resize(static_cast<std::size_t>(len));
-      for (auto& b : m.payload) b = static_cast<std::uint8_t>(net_rng.next_below(256));
+      m.payload = phantom_pool_.acquire();
+      Bytes& buf = m.payload.mutable_bytes();
+      // Reserve the maximum once per slot: phantom lengths are random, and
+      // growing to a fresh record length must not allocate in the steady
+      // state.
+      buf.reserve(cfg_.faults.phantom_max_len);
+      buf.resize(static_cast<std::size_t>(len));
+      // Bulk fill: one next_u64 draw per 8 payload bytes (little-endian,
+      // a partial final draw spends its low bytes first). The draw
+      // sequence is part of the replay contract: ceil(len/8) next_u64
+      // draws per phantom, after the from/channel/len draws above.
+      for (std::size_t off = 0; off < buf.size(); off += 8) {
+        std::uint64_t word = net_rng.next_u64();
+        const std::size_t chunk = std::min<std::size_t>(8, buf.size() - off);
+        for (std::size_t b = 0; b < chunk; ++b) {
+          buf[off + b] = static_cast<std::uint8_t>(word >> (8 * b));
+        }
+      }
       metrics_.count_phantom();
       inboxes_[id].deliver(std::move(m));
     }

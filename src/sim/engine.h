@@ -34,6 +34,11 @@ struct EngineConfig {
   // 0 = record every beat's traffic; k > 0 = keep only the most recent k
   // beats (bounded memory, allocation-free steady state).
   std::size_t metrics_history_limit = 0;
+  // Accumulate correct-node sent bytes per channel (one extra pass over
+  // the beat's messages; off by default). Read via channel_bytes(); reset
+  // via reset_channel_bytes() after warmup. Used by the per-round traffic
+  // breakdown in bench_message_complexity.
+  bool track_channel_bytes = false;
 
   // The highest-id nodes are faulty by default.
   static std::vector<NodeId> last_ids_faulty(std::uint32_t n, std::uint32_t count);
@@ -80,15 +85,25 @@ class Engine {
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
 
+  // Cumulative correct-node sent bytes per channel id (empty unless
+  // EngineConfig::track_channel_bytes). Entry ch covers every message a
+  // correct node emitted on channel ch, broadcasts counted once per
+  // recipient — the same wire-byte semantics as Metrics.
+  const std::vector<std::uint64_t>& channel_bytes() const {
+    return channel_bytes_;
+  }
+  std::uint64_t channel_bytes_beats() const { return channel_bytes_beats_; }
+  void reset_channel_bytes();
+
   // Listener is not owned; must outlive the engine's run.
   void add_listener(BeatListener* l) { listeners_.push_back(l); }
 
  private:
-  // Moves each message's payload into the target inbox (or back to the
-  // pool when the message is dropped).
+  // Moves each message (payload handle included) into the target inbox;
+  // dropped messages keep their handle in the beat scratch until the
+  // end-of-beat reset (deterministic pool demand — see run_beat).
   void deliver(std::vector<Message>& msgs, Rng& net_rng, bool network_faulty);
   void inject_phantoms(Rng& net_rng);
-  void recycle(std::vector<Message>& msgs);
 
   EngineConfig cfg_;
   Beat beat_ = 0;
@@ -96,6 +111,11 @@ class Engine {
   std::vector<NodeId> correct_ids_;
   std::vector<std::unique_ptr<Protocol>> protocols_;  // null for faulty ids
   BytesPool pool_;  // owns recycled payload storage; declared before users
+  // Phantom payloads draw from their own pool: its slots reserve
+  // phantom_max_len on first use and are reused beat after beat, so the
+  // random phantom sizes neither allocate in the steady state nor inflate
+  // the protocol-payload slots of pool_.
+  BytesPool phantom_pool_;
   std::vector<Inbox> inboxes_;                        // per node id
   std::unique_ptr<Adversary> adversary_;
   std::uint32_t channel_count_ = 0;
@@ -104,11 +124,14 @@ class Engine {
   Rng net_rng_;
   Metrics metrics_;
   std::vector<BeatListener*> listeners_;
+  std::vector<std::uint64_t> channel_bytes_;  // per channel, when tracked
+  std::uint64_t channel_bytes_beats_ = 0;
   // Persistent per-beat scratch: cleared every beat, capacity retained.
   Outbox outbox_{0, 0, &pool_};
   std::vector<Message> correct_msgs_;
   std::vector<Message> adv_msgs_;
-  std::vector<Message> observed_;
+  std::vector<Message> observed_;  // borrowed handles; the rushing view
+  std::vector<std::uint32_t> addressed_;  // per-target count, lossy beats
 };
 
 }  // namespace ssbft

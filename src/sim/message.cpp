@@ -7,23 +7,32 @@
 
 namespace ssbft {
 
-Bytes BytesPool::acquire() {
-  if (free_.empty()) return Bytes{};
-  Bytes b = std::move(free_.back());
-  free_.pop_back();
-  return b;
+BytesPool::~BytesPool() {
+  for (detail::PayloadSlot* s : free_) delete s;
 }
 
-void BytesPool::release(Bytes&& b) {
-  if (b.capacity() == 0) return;  // nothing worth keeping
-  b.clear();
-  free_.push_back(std::move(b));
+SharedBytes BytesPool::acquire() {
+  detail::PayloadSlot* s;
+  if (free_.empty()) {
+    s = new detail::PayloadSlot;
+    s->pool = this;
+  } else {
+    s = free_.back();
+    free_.pop_back();
+  }
+  s->refs = 1;
+  return SharedBytes{s};
+}
+
+void BytesPool::recycle(detail::PayloadSlot* slot) {
+  slot->buf.clear();
+  free_.push_back(slot);
 }
 
 void Outbox::send(NodeId to, ChannelId channel, const Bytes& payload) {
   SSBFT_REQUIRE_MSG(to < n_, "send target out of range");
-  Bytes b = pool().acquire();
-  b.assign(payload.begin(), payload.end());
+  SharedBytes b = pool().acquire();
+  b.mutable_bytes().assign(payload.begin(), payload.end());
   ++sent_messages_;
   sent_bytes_ += payload.size();
   sink_->push_back(Message{self_, to, channel, std::move(b)});
@@ -32,24 +41,23 @@ void Outbox::send(NodeId to, ChannelId channel, const Bytes& payload) {
 void Outbox::broadcast(ChannelId channel, const Bytes& payload) {
   sent_messages_ += n_;
   sent_bytes_ += std::uint64_t{payload.size()} * n_;
+  // Copy once; every recipient's Message aliases the same slot.
+  SharedBytes b = pool().acquire();
+  b.mutable_bytes().assign(payload.begin(), payload.end());
   for (NodeId to = 0; to < n_; ++to) {
-    Bytes b = pool().acquire();
-    b.assign(payload.begin(), payload.end());
-    sink_->push_back(Message{self_, to, channel, std::move(b)});
+    sink_->push_back(Message{self_, to, channel, b});
   }
 }
 
 void Outbox::clear() {
-  for (Message& m : *sink_) pool().release(std::move(m.payload));
   sink_->clear();
   sent_messages_ = 0;
   sent_bytes_ = 0;
 }
 
-Inbox::Inbox(std::uint32_t n, std::uint32_t max_channels, BytesPool* pool)
+Inbox::Inbox(std::uint32_t n, std::uint32_t max_channels)
     : n_(n),
       max_channels_(max_channels),
-      external_pool_(pool),
       count_(max_channels, 0),
       offset_(max_channels, 0),
       cursor_(max_channels, 0),
@@ -57,8 +65,11 @@ Inbox::Inbox(std::uint32_t n, std::uint32_t max_channels, BytesPool* pool)
       null_row_(n, nullptr) {}
 
 void Inbox::deliver(Message m) {
-  if (m.channel >= max_channels_) {  // unknown stream: dropped
-    pool().release(std::move(m.payload));
+  if (m.channel >= max_channels_) {
+    // Unknown stream: dropped, but the handle is parked until clear() so
+    // payload slots release at the beat boundary like every other dropped
+    // message (deterministic pool demand — see Engine::run_beat).
+    dropped_.push_back(std::move(m));
     return;
   }
   sealed_ = false;  // a later read re-buckets
@@ -66,8 +77,8 @@ void Inbox::deliver(Message m) {
 }
 
 void Inbox::clear() {
-  for (Message& m : staged_) pool().release(std::move(m.payload));
   staged_.clear();
+  dropped_.clear();
   sealed_ = false;
 }
 
@@ -121,11 +132,12 @@ void Inbox::seal() const {
       for (; j > 0 && msgs[b[j - 1]].from > key; --j) b[j] = b[j - 1];
       b[j] = idx;
     }
-    // First-per-sender table: one pass in canonical order.
+    // First-per-sender table: one pass in canonical order. The pointers
+    // land on the shared slots' byte storage, which never moves.
     const Bytes** row = first_.data() + std::size_t{ch} * n_;
     for (std::uint32_t i = 0; i < len; ++i) {
       const Message& m = msgs[b[i]];
-      if (m.from < n_ && row[m.from] == nullptr) row[m.from] = &m.payload;
+      if (m.from < n_ && row[m.from] == nullptr) row[m.from] = &m.payload.bytes();
     }
   }
 }

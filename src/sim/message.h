@@ -7,65 +7,179 @@
 // sub-protocol instances co-execute, so a fixed channel space suffices and
 // is trivially recyclable (self-stabilization needs no unbounded counters).
 //
-// Bytes-pool ownership rules
-// --------------------------
-// Every payload buffer that flows through the beat loop is owned by exactly
-// one of three parties at any time, and storage cycles between them through
-// a BytesPool so the steady-state beat performs no heap allocation:
+// Bytes-pool ownership rules (shared-payload model, PR 4)
+// --------------------------------------------------------
+// Payload storage is refcounted: a `SharedBytes` is a handle to a pooled
+// buffer slot, and every `Message` carries one. A broadcast encodes and
+// copies its payload into pooled storage exactly ONCE — all n Messages
+// alias the same slot — and delivery, the adversary's rushing view, and
+// the inboxes only move or copy handles (refcount bumps), never bytes.
+// Per-beat payload memcpy is therefore O(traffic encoded), not O(messages
+// delivered). Wire-byte accounting is unchanged: a broadcast still counts
+// n x payload-size sent bytes, and every aliased Message reports the full
+// payload size.
 //
-//   1. The pool itself. `acquire()` hands out an *empty* buffer (capacity
-//      retained from earlier use); `release()` takes a buffer back, clears
-//      its content, and keeps its capacity. Capacity-less buffers are
-//      dropped on release — pooling them would grow the free list with
-//      entries that save nothing.
-//   2. A Message in flight. Outbox::send/broadcast and
-//      AdversaryContext::send copy the caller's payload into a pooled
-//      buffer, so the caller always keeps ownership of what it passed in
-//      (a ByteWriter's scratch may be reused immediately). The engine moves
-//      in-flight messages from the outbox into its per-beat scratch and
-//      from there into inboxes; a message that is dropped (faulty target,
-//      lossy network, unknown channel) releases its payload back to the
-//      pool at the drop site.
-//   3. An Inbox. Delivered payloads are owned by the inbox until its next
-//      `clear()`, which releases them all back to the pool. Views returned
-//      by `on()` / `first_per_sender()` borrow from the inbox and are
-//      invalidated by `deliver()` and `clear()`.
+// Lifecycle of a slot:
+//
+//   1. The pool owns free slots. `acquire()` hands out a handle to an
+//      *empty* buffer (capacity retained from earlier use) with refcount 1.
+//   2. Handles share the slot. Copying a SharedBytes (outbox fan-out,
+//      the adversary's observed view, inbox delivery) bumps the refcount;
+//      destroying or reassigning one drops it. Nobody may mutate a slot's
+//      bytes after more than one handle exists (`mutable_bytes()` enforces
+//      uniqueness), so aliased readers are always safe.
+//   3. The last handle recycles the slot. When the refcount reaches zero
+//      the slot returns to its pool's free list — content cleared,
+//      capacity kept — so the steady-state beat performs no heap
+//      allocation. Slots created without a pool (standalone SharedBytes
+//      built from a Bytes literal, e.g. in tests) are heap-owned and
+//      deleted on last release instead.
+//
+// Views returned by `on()` / `first_per_sender()` borrow payload bytes
+// from the slots referenced by the inbox and stay valid until the inbox's
+// next `clear()` (or destruction); `deliver()` invalidates the *index*
+// structure of a view but never moves payload bytes.
 //
 // An Outbox/Inbox constructed without an external pool owns a private one,
 // so standalone use (tests, harnesses) needs no extra plumbing. A shared
-// pool must outlive every Outbox/Inbox bound to it; the Engine owns the
-// pool and all of its users, in that order.
+// pool must outlive every Outbox/Inbox bound to it AND every SharedBytes
+// handle drawn from it; the Engine owns the pool and all of its users, in
+// that order.
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
+#include <utility>
 #include <vector>
 
 #include "support/bytes.h"
+#include "support/check.h"
 #include "support/types.h"
 
 namespace ssbft {
+
+class BytesPool;
+
+namespace detail {
+// Control block + storage for one shared payload buffer. Not thread-safe;
+// one pool (and all of its slots) per engine.
+struct PayloadSlot {
+  Bytes buf;
+  std::uint32_t refs = 0;
+  BytesPool* pool = nullptr;  // null: heap slot, deleted on last release
+};
+}  // namespace detail
+
+// Refcounted handle to a payload buffer. Copying shares the buffer; the
+// last handle recycles it into its pool (or deletes a pool-less slot).
+class SharedBytes {
+ public:
+  SharedBytes() = default;
+  // Standalone handles over a heap slot (tests, literals). Implicit so
+  // Message{from, to, ch, {0xaa}} keeps working.
+  SharedBytes(Bytes b)
+      : slot_(new detail::PayloadSlot{std::move(b), 1, nullptr}) {}
+  SharedBytes(std::initializer_list<std::uint8_t> il)
+      : SharedBytes(Bytes(il)) {}
+
+  SharedBytes(const SharedBytes& o) : slot_(o.slot_) {
+    if (slot_ != nullptr) ++slot_->refs;
+  }
+  SharedBytes(SharedBytes&& o) noexcept : slot_(o.slot_) {
+    o.slot_ = nullptr;
+  }
+  SharedBytes& operator=(const SharedBytes& o) {
+    if (slot_ != o.slot_) {
+      reset();
+      slot_ = o.slot_;
+      if (slot_ != nullptr) ++slot_->refs;
+    }
+    return *this;
+  }
+  SharedBytes& operator=(SharedBytes&& o) noexcept {
+    if (this != &o) {
+      reset();
+      slot_ = o.slot_;
+      o.slot_ = nullptr;
+    }
+    return *this;
+  }
+  ~SharedBytes() { reset(); }
+
+  // Drops this handle (recycling the slot if it was the last one).
+  void reset();
+
+  // Read view. A null handle reads as an empty buffer.
+  const Bytes& bytes() const {
+    static const Bytes kEmpty;
+    return slot_ != nullptr ? slot_->buf : kEmpty;
+  }
+  operator const Bytes&() const { return bytes(); }
+  std::size_t size() const { return bytes().size(); }
+  bool empty() const { return bytes().empty(); }
+  std::uint8_t operator[](std::size_t i) const { return bytes()[i]; }
+
+  // Mutable access, only while this is the sole handle: aliased payloads
+  // (a broadcast already fanned out) must never change under a reader.
+  Bytes& mutable_bytes() {
+    SSBFT_REQUIRE_MSG(slot_ != nullptr && slot_->refs == 1,
+                      "mutable_bytes() on a shared or null payload");
+    return slot_->buf;
+  }
+
+  // Handles aliasing the same slot (diagnostics/tests).
+  bool shares_with(const SharedBytes& o) const {
+    return slot_ != nullptr && slot_ == o.slot_;
+  }
+
+ private:
+  friend class BytesPool;
+  explicit SharedBytes(detail::PayloadSlot* slot) : slot_(slot) {}
+
+  detail::PayloadSlot* slot_ = nullptr;
+};
 
 struct Message {
   NodeId from = 0;
   NodeId to = 0;
   ChannelId channel = 0;
-  Bytes payload;
+  SharedBytes payload;
 };
 
-// Free list of payload buffers. Not thread-safe; one pool per engine.
+// Free list of payload slots. Not thread-safe; one pool per engine.
 class BytesPool {
  public:
-  // An empty buffer, reusing pooled capacity when available.
-  Bytes acquire();
-  // Returns a buffer's storage to the pool. Content is discarded;
-  // capacity-less buffers are dropped.
-  void release(Bytes&& b);
-  // Buffers currently sitting in the free list.
+  BytesPool() = default;
+  BytesPool(const BytesPool&) = delete;
+  BytesPool& operator=(const BytesPool&) = delete;
+  ~BytesPool();
+
+  // A handle (refcount 1) to an empty buffer, reusing pooled capacity when
+  // available.
+  SharedBytes acquire();
+  // Slots currently sitting in the free list.
   std::size_t free_count() const { return free_.size(); }
 
  private:
-  std::vector<Bytes> free_;
+  friend class SharedBytes;
+  // Takes a slot back (refcount already zero). Content is discarded, the
+  // buffer's capacity and the slot node itself are kept for reuse.
+  void recycle(detail::PayloadSlot* slot);
+
+  std::vector<detail::PayloadSlot*> free_;
 };
+
+inline void SharedBytes::reset() {
+  if (slot_ == nullptr) return;
+  detail::PayloadSlot* s = slot_;
+  slot_ = nullptr;
+  if (--s->refs != 0) return;
+  if (s->pool != nullptr) {
+    s->pool->recycle(s);
+  } else {
+    delete s;
+  }
+}
 
 // Borrowed view of one channel bucket: a contiguous run of indices into
 // the inbox's arrival-order message store. Iteration order is canonical
@@ -162,7 +276,9 @@ class Outbox {
   // Point-to-point send. The payload is copied into pooled storage.
   void send(NodeId to, ChannelId channel, const Bytes& payload);
   // "Broadcast" in the paper's sense: send the same payload to all n nodes,
-  // including self (no broadcast channels are assumed).
+  // including self (no broadcast channels are assumed). The payload is
+  // encoded into pooled storage ONCE; all n messages alias that buffer.
+  // Sent-byte accounting still counts n x payload-size wire bytes.
   void broadcast(ChannelId channel, const Bytes& payload);
 
   // Messages and payload bytes emitted since the last reset().
@@ -170,7 +286,8 @@ class Outbox {
   std::uint64_t sent_bytes() const { return sent_bytes_; }
 
   const std::vector<Message>& messages() const { return *sink_; }
-  // Releases all payloads back to the pool and forgets the messages.
+  // Drops all payload handles (recycling last-referenced slots) and
+  // forgets the messages.
   void clear();
 
  private:
@@ -197,12 +314,25 @@ class Outbox {
 // so a steady-state beat touches the allocator not at all.
 class Inbox {
  public:
-  Inbox(std::uint32_t n, std::uint32_t max_channels, BytesPool* pool = nullptr);
+  // Payload storage is managed by the handles themselves, so the inbox
+  // needs no pool of its own.
+  Inbox(std::uint32_t n, std::uint32_t max_channels);
 
-  // Takes ownership of the message (payload storage included). Messages on
-  // unknown channels are dropped and their payloads recycled.
+  // Takes the message's payload handle (sharing the slot with any other
+  // aliases of a broadcast). Messages on unknown channels are dropped;
+  // their handles are parked until the next clear() so slots release at
+  // the beat boundary like all other dropped traffic.
   void deliver(Message m);
-  // Releases all payloads to the pool; keeps every buffer's capacity.
+  // Pre-reserves storage for `messages` deliveries this beat. The engine
+  // calls this with the pre-drop addressed count when the network is
+  // lossy, so inbox capacity converges to the deterministic traffic shape
+  // instead of chasing random record peaks of the delivered count.
+  void reserve(std::size_t messages) {
+    staged_.reserve(messages);
+    order_.reserve(messages);
+  }
+  // Drops all payload handles (last-referenced slots recycle into the
+  // pool, keeping capacity); forgets the messages.
   void clear();
 
   // All messages on a channel, ordered by sender id (then arrival order for
@@ -219,15 +349,13 @@ class Inbox {
   std::uint32_t node_count() const { return n_; }
 
  private:
-  BytesPool& pool() { return external_pool_ ? *external_pool_ : owned_pool_; }
   void seal() const;  // bucket + canonicalize the index array
 
   std::uint32_t n_;
   std::uint32_t max_channels_;
-  BytesPool* external_pool_;
-  BytesPool owned_pool_;
 
-  std::vector<Message> staged_;  // arrival order; sole owner of payloads
+  std::vector<Message> staged_;   // arrival order; holds the payload handles
+  std::vector<Message> dropped_;  // unknown-channel parking, until clear()
 
   // Mutable: seal() runs lazily from the const read accessors.
   mutable bool sealed_ = false;

@@ -1,5 +1,9 @@
 #include "support/bytes.h"
 
+#include <cstring>
+
+#include "support/check.h"
+
 namespace ssbft {
 
 void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
@@ -29,6 +33,58 @@ void ByteWriter::u64_vec(const std::uint64_t* data, std::size_t len) {
 void ByteWriter::bytes(const Bytes& v) {
   u32(static_cast<std::uint32_t>(v.size()));
   buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void ByteWriter::masked_u64_vec(const std::uint64_t* data, std::size_t len,
+                                std::uint64_t absent, unsigned value_bits) {
+  SSBFT_REQUIRE_MSG(value_bits >= 1 && value_bits <= 64,
+                    "masked_u64_vec: value_bits out of range");
+  const std::uint64_t max_value =
+      value_bits == 64 ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << value_bits) - 1;
+  const std::size_t mask_bytes = (len + 7) / 8;
+  std::size_t present = 0;
+  for (std::size_t i = 0; i < len; ++i) present += data[i] != absent;
+  const std::size_t packed_bytes = (present * value_bits + 7) / 8;
+  // One zero-filling resize sizes mask and packed region exactly; the
+  // write below fills in mask bits and whole packed bytes (padding bits in
+  // the last byte stay zero, as the decoder requires).
+  const std::size_t start = buf_.size();
+  buf_.resize(start + mask_bytes + packed_bytes, 0);
+  std::uint8_t* const mask = buf_.data() + start;
+  std::uint8_t* out = mask + mask_bytes;
+  // Present values stream LSB-first through a 128-bit window, flushed in
+  // 8-byte stores; the flush invariant (flushed*8 + acc_bits = bits
+  // produced <= present*value_bits) keeps every store in bounds.
+  unsigned __int128 acc = 0;
+  unsigned acc_bits = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    if (data[i] == absent) continue;
+    SSBFT_REQUIRE_MSG(data[i] <= max_value,
+                      "masked_u64_vec: value wider than value_bits");
+    mask[i >> 3] |= static_cast<std::uint8_t>(1u << (i & 7));
+    acc |= static_cast<unsigned __int128>(data[i]) << acc_bits;
+    acc_bits += value_bits;
+    if (acc_bits >= 64) {
+      const std::uint64_t w = static_cast<std::uint64_t>(acc);
+      std::memcpy(out, &w, 8);
+      out += 8;
+      acc >>= 64;
+      acc_bits -= 64;
+    }
+  }
+  while (acc_bits > 0) {
+    *out++ = static_cast<std::uint8_t>(acc);
+    acc >>= 8;
+    acc_bits = acc_bits >= 8 ? acc_bits - 8 : 0;
+  }
+}
+
+void ByteWriter::bits(const std::uint64_t* words, std::size_t nbits) {
+  for (std::size_t base = 0; base < nbits; base += 8) {
+    buf_.push_back(
+        static_cast<std::uint8_t>(words[base / 64] >> (base % 64)));
+  }
 }
 
 bool ByteReader::take(std::size_t len, const std::uint8_t** out) {
@@ -89,6 +145,88 @@ std::size_t ByteReader::u64_vec_into(std::uint64_t* dst,
   }
   for (std::uint32_t i = 0; i < n; ++i) dst[i] = u64();
   return n;
+}
+
+bool ByteReader::masked_u64_vec_into(std::uint64_t* dst, std::size_t len,
+                                     std::uint64_t absent,
+                                     unsigned value_bits) {
+  if (value_bits < 1 || value_bits > 64) {
+    ok_ = false;
+    return false;
+  }
+  const std::size_t mask_bytes = (len + 7) / 8;
+  const std::uint8_t* mask = nullptr;
+  if (!take(mask_bytes, &mask)) return false;
+  // Count the present entries; nonzero mask bits >= len are non-canonical.
+  std::size_t present = 0;
+  for (std::size_t i = 0; i < mask_bytes; ++i) {
+    std::uint8_t m = mask[i];
+    if (i + 1 == mask_bytes && len % 8 != 0) {
+      if ((m >> (len % 8)) != 0) {
+        ok_ = false;
+        return false;
+      }
+    }
+    for (; m != 0; m &= static_cast<std::uint8_t>(m - 1)) ++present;
+  }
+  const std::size_t packed_bits = present * value_bits;
+  const std::size_t packed_bytes = (packed_bits + 7) / 8;
+  const std::uint8_t* packed = nullptr;
+  if (!take(packed_bytes, &packed)) return false;
+  // Padding bits after the last value must be zero (canonical encoding;
+  // also what makes encode(decode(x)) the identity on the wire).
+  if (packed_bits % 8 != 0 &&
+      (packed[packed_bytes - 1] >> (packed_bits % 8)) != 0) {
+    ok_ = false;
+    return false;
+  }
+  const std::uint64_t value_mask =
+      value_bits == 64 ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << value_bits) - 1;
+  // Values stream out of a 128-bit window refilled with 8-byte loads
+  // (falling back to single bytes near the end of the packed region).
+  unsigned __int128 acc = 0;
+  unsigned acc_bits = 0;
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    if ((mask[i / 8] >> (i % 8) & 1u) == 0) {
+      dst[i] = absent;
+      continue;
+    }
+    while (acc_bits < value_bits) {
+      if (acc_bits <= 64 && pos + 8 <= packed_bytes) {
+        std::uint64_t w;
+        std::memcpy(&w, packed + pos, 8);
+        pos += 8;
+        acc |= static_cast<unsigned __int128>(w) << acc_bits;
+        acc_bits += 64;
+      } else {
+        acc |= static_cast<unsigned __int128>(packed[pos]) << acc_bits;
+        ++pos;
+        acc_bits += 8;
+      }
+    }
+    dst[i] = static_cast<std::uint64_t>(acc) & value_mask;
+    acc >>= value_bits;
+    acc_bits -= value_bits;
+  }
+  return true;
+}
+
+bool ByteReader::bits_into(std::uint64_t* words, std::size_t nbits) {
+  const std::size_t nbytes = (nbits + 7) / 8;
+  const std::uint8_t* p = nullptr;
+  if (!take(nbytes, &p)) return false;
+  if (nbits % 8 != 0 && (p[nbytes - 1] >> (nbits % 8)) != 0) {
+    ok_ = false;
+    return false;
+  }
+  for (std::size_t w = 0; w * 64 < nbits; ++w) words[w] = 0;
+  for (std::size_t base = 0; base < nbits; base += 8) {
+    words[base / 64] |=
+        static_cast<std::uint64_t>(p[base / 8]) << (base % 64);
+  }
+  return true;
 }
 
 Bytes ByteReader::bytes(std::size_t max_len) {

@@ -30,6 +30,29 @@ class ByteWriter {
   // Length-prefixed (u32) raw bytes.
   void bytes(const Bytes& v);
 
+  // Compact fixed-length vector codec for sparse field vectors. `len` is
+  // known to both sides, so no length prefix travels. Wire layout:
+  //
+  //   ceil(len/8) mask bytes   bit i (byte i/8, bit i%8) = entry i present;
+  //                            bits >= len MUST be zero.
+  //   packed values            the present entries in index order, each
+  //                            `value_bits` bits, bit-packed LSB-first into
+  //                            ceil(popcount * value_bits / 8) bytes;
+  //                            padding bits in the last byte MUST be zero.
+  //
+  // Entries equal to `absent` are masked out and cost 1 bit instead of
+  // `value_bits` bits. Every present entry must fit in `value_bits` bits
+  // (contract error otherwise); callers encoding canonical field elements
+  // pass value_bits = bit width of (modulus - 1).
+  void masked_u64_vec(const std::uint64_t* data, std::size_t len,
+                      std::uint64_t absent, unsigned value_bits = 64);
+
+  // Raw fixed-width bitmask: `nbits` bits from bitword storage (bit i =
+  // word i/64, bit i%64), as ceil(nbits/8) bytes; padding bits in the last
+  // byte MUST be zero (they are taken from the words verbatim, so callers
+  // keep bits >= nbits clear — bitword_clear does).
+  void bits(const std::uint64_t* words, std::size_t nbits);
+
   const Bytes& data() const& { return buf_; }
   Bytes take() && { return std::move(buf_); }
   std::size_t size() const { return buf_.size(); }
@@ -60,6 +83,22 @@ class ByteReader {
   // keep checking `ok() && at_end()` exactly as with u64_vec.
   std::size_t u64_vec_into(std::uint64_t* dst, std::size_t max_elems);
   Bytes bytes(std::size_t max_len);
+
+  // Decodes ByteWriter::masked_u64_vec of a known `len` into dst[0..len):
+  // masked-out entries are set to `absent`. Returns true on success. On any
+  // malformed input — truncated mask, truncated packed tail, nonzero mask
+  // bits >= len, nonzero padding bits — the failure flag latches, dst is
+  // untouched and false is returned; decoders keep checking
+  // `ok() && at_end()` exactly as with u64_vec. An "overlong tail" (extra
+  // bytes after the packed values) is not consumed here and therefore
+  // fails the caller's at_end() check.
+  bool masked_u64_vec_into(std::uint64_t* dst, std::size_t len,
+                           std::uint64_t absent, unsigned value_bits = 64);
+
+  // Decodes ByteWriter::bits into bitword storage (the caller provides
+  // bitword_count(nbits) words). Rejects nonzero padding bits in the last
+  // byte; on failure the words are untouched.
+  bool bits_into(std::uint64_t* words, std::size_t nbits);
 
   // True iff no read has run past the end so far.
   bool ok() const { return ok_; }

@@ -123,6 +123,51 @@ TEST(AllocationFreeBeat, AllCorrect) {
       << "steady-state run_beat() touched the heap";
 }
 
+// Equivocating sends plus a shared broadcast from every faulty node, via
+// reused writers — exercises AdversaryContext::broadcast's copy-once path.
+class BroadcastingAdversary final : public Adversary {
+ public:
+  void act(AdversaryContext& ctx) override {
+    for (NodeId from : ctx.faulty()) {
+      w_.clear();
+      w_.u32(from);
+      w_.u64(ctx.beat());
+      ctx.broadcast(from, 0, w_.data());
+      w_.clear();
+      w_.u64(ctx.beat() * 3 + 1);
+      ctx.send(from, from % ctx.n(), 1, w_.data());
+    }
+  }
+
+ private:
+  ByteWriter w_;
+};
+
+// The full fabric under stress: broadcasts fanning out as shared payloads,
+// an adversary observing and re-broadcasting, a permanently faulty network
+// dropping messages and injecting phantom payloads, and faulty recipients
+// swallowing traffic — all must recycle slots through the pool with a zero
+// steady-state allocation delta.
+TEST(AllocationFreeBeat, BroadcastsDropsPhantomsAndFaultyRecipients) {
+  EngineConfig cfg;
+  cfg.n = 16;
+  cfg.f = 5;
+  cfg.faulty = EngineConfig::last_ids_faulty(16, 5);
+  cfg.seed = 6;
+  cfg.metrics_history_limit = 8;
+  cfg.faults.network_faulty_until = ~std::uint64_t{0};
+  cfg.faults.faulty_drop_prob = 0.2;
+  cfg.faults.phantoms_per_beat = 3;
+  cfg.faults.phantom_max_len = 48;
+  Engine eng(cfg, steady_factory(), std::make_unique<BroadcastingAdversary>());
+  eng.run_beats(64);  // slot pool, inbox buckets and phantom buffers settle
+  const std::size_t before = g_allocations;
+  eng.run_beats(32);
+  EXPECT_EQ(g_allocations - before, 0u)
+      << "steady-state beat with drops/phantoms/faulty targets touched the "
+         "heap";
+}
+
 TEST(AllocationFreeBeat, WithAdversary) {
   EngineConfig cfg;
   cfg.n = 16;

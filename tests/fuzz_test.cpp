@@ -51,7 +51,7 @@ class FuzzAdversary final : public Adversary {
  private:
   Bytes craft(Rng& rng) {
     ByteWriter w;
-    switch (rng.next_below(7)) {
+    switch (rng.next_below(10)) {
       case 0:  // empty payload
         break;
       case 1:  // single byte (valid-ish for tri-state channels)
@@ -75,6 +75,31 @@ class FuzzAdversary final : public Adversary {
         Bytes blob(rng.next_below(100));
         for (auto& b : blob) b = static_cast<std::uint8_t>(rng.next_below(256));
         w.bytes(blob);
+        break;
+      }
+      case 6: {  // well-formed masked field vector, sentinels included
+        std::vector<std::uint64_t> v(rng.next_below(20));
+        for (auto& x : v) {
+          x = rng.next_bernoulli(0.4) ? PrimeField::kDefaultPrime
+                                      : rng.next_below(PrimeField::kDefaultPrime);
+        }
+        w.masked_u64_vec(v.data(), v.size(), PrimeField::kDefaultPrime, 61);
+        break;
+      }
+      case 7: {  // masked-format garbage: random mask bytes, random tail
+        const std::size_t mask_bytes = rng.next_below(4);
+        for (std::size_t i = 0; i < mask_bytes; ++i) {
+          w.u8(static_cast<std::uint8_t>(rng.next_below(256)));
+        }
+        const std::size_t tail = rng.next_below(24);
+        for (std::size_t i = 0; i < tail; ++i) {
+          w.u8(static_cast<std::uint8_t>(rng.next_below(256)));
+        }
+        break;
+      }
+      case 8: {  // bitmask with hostile padding bits
+        const std::size_t nbytes = 1 + rng.next_below(3);
+        for (std::size_t i = 0; i < nbytes; ++i) w.u8(0xff);
         break;
       }
       default:  // truncated multi-field encoding

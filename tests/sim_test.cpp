@@ -149,6 +149,78 @@ TEST(Inbox, FirstPerSenderDeduplicates) {
   EXPECT_EQ((*per[2])[0], 0xcc);
 }
 
+TEST(Outbox, BroadcastSharesOnePayloadBuffer) {
+  // Copy-once fabric: all n messages of a broadcast alias the same pooled
+  // slot (one encode, one copy), while wire-byte accounting still counts
+  // n x payload-size.
+  Outbox out(1, 4);
+  out.broadcast(0, {1, 2, 3});
+  ASSERT_EQ(out.messages().size(), 4u);
+  const Bytes* first = &out.messages()[0].payload.bytes();
+  for (const Message& m : out.messages()) {
+    EXPECT_TRUE(m.payload.shares_with(out.messages()[0].payload));
+    EXPECT_EQ(&m.payload.bytes(), first);
+    EXPECT_EQ(m.payload.size(), 3u);
+  }
+  EXPECT_EQ(out.sent_messages(), 4u);
+  EXPECT_EQ(out.sent_bytes(), 12u);  // n x B, not B
+  // Point-to-point sends get private buffers.
+  out.send(2, 0, {9});
+  EXPECT_FALSE(
+      out.messages()[4].payload.shares_with(out.messages()[0].payload));
+}
+
+TEST(SharedBytes, MutationRequiresUniqueOwnership) {
+  BytesPool pool;
+  SharedBytes a = pool.acquire();
+  a.mutable_bytes().assign({1, 2});
+  SharedBytes b = a;  // aliased: readers may hold the buffer
+  EXPECT_THROW(a.mutable_bytes(), contract_error);
+  b.reset();
+  EXPECT_EQ(a.mutable_bytes().size(), 2u);  // unique again
+}
+
+TEST(SharedBytes, LastHandleRecyclesIntoThePool) {
+  BytesPool pool;
+  {
+    SharedBytes a = pool.acquire();
+    a.mutable_bytes().assign(64, 0xab);
+    SharedBytes b = a;
+    a.reset();
+    EXPECT_EQ(pool.free_count(), 0u);  // b still holds the slot
+    EXPECT_EQ(b.size(), 64u);
+  }
+  EXPECT_EQ(pool.free_count(), 1u);
+  // Reacquiring hands back an empty buffer reusing the slot.
+  SharedBytes c = pool.acquire();
+  EXPECT_EQ(pool.free_count(), 0u);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(Inbox, ViewsStayValidUntilClear) {
+  // Payload views borrow from the shared slots; later deliver() calls
+  // re-bucket the indices but never move payload bytes, so pointers taken
+  // from one read remain valid until clear().
+  Inbox in(4, 2);
+  in.deliver({1, 0, 0, {0x11}});
+  in.deliver({2, 0, 0, {0x22}});
+  const auto per = in.first_per_sender(0);
+  const Bytes* p1 = per[1];
+  const Bytes* p2 = per[2];
+  ASSERT_NE(p1, nullptr);
+  ASSERT_NE(p2, nullptr);
+  in.deliver({0, 0, 1, {0x33}});  // invalidates the view's index structure
+  (void)in.on(1);                 // force a re-seal
+  EXPECT_EQ((*p1)[0], 0x11);      // ...but the borrowed bytes still stand
+  EXPECT_EQ((*p2)[0], 0x22);
+  // After clear() the old pointers are dead; fresh reads see fresh state.
+  in.clear();
+  EXPECT_EQ(in.first_per_sender(0)[1], nullptr);
+  in.deliver({1, 0, 0, {0x44}});
+  ASSERT_NE(in.first_per_sender(0)[1], nullptr);
+  EXPECT_EQ((*in.first_per_sender(0)[1])[0], 0x44);
+}
+
 TEST(Engine, AllCorrectMessagesDelivered) {
   auto eng = Engine(basic_config(5, 0), echo_factory(), nullptr);
   eng.run_beat();

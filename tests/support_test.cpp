@@ -285,6 +285,202 @@ TEST(Bytes, U64VecFlatOverloadMatchesVectorOverload) {
   EXPECT_EQ(a.data(), b.data());
 }
 
+// --- Masked field-vector codec (ByteWriter::masked_u64_vec) ---------------
+
+// Reference encode/decode through the plain u64_vec wire format, for the
+// round-trip property tests: the masked codec must carry exactly the same
+// logical vector (sentinels included), only in fewer bytes.
+std::vector<std::uint64_t> masked_round_trip(
+    const std::vector<std::uint64_t>& v, std::uint64_t absent,
+    unsigned value_bits) {
+  ByteWriter w;
+  w.masked_u64_vec(v.data(), v.size(), absent, value_bits);
+  ByteReader r(w.data());
+  std::vector<std::uint64_t> out(v.size(), ~std::uint64_t{0});
+  EXPECT_TRUE(r.masked_u64_vec_into(out.data(), out.size(), absent,
+                                    value_bits));
+  EXPECT_TRUE(r.at_end());
+  return out;
+}
+
+TEST(MaskedCodec, RoundTripPropertyVsPlainReference) {
+  Rng rng(71);
+  const std::uint64_t absent = (std::uint64_t{1} << 61) - 1;  // 2^61 - 1
+  for (unsigned value_bits : {61u, 64u, 13u, 1u}) {
+    const std::uint64_t value_bound =
+        value_bits >= 61 ? absent : (std::uint64_t{1} << value_bits);
+    for (int iter = 0; iter < 50; ++iter) {
+      const std::size_t len = rng.next_below(40);
+      std::vector<std::uint64_t> v(len);
+      for (auto& x : v) {
+        x = rng.next_bernoulli(0.3) ? absent : rng.next_below(value_bound);
+      }
+      // The plain encoding round-trips by construction; the masked one
+      // must yield the identical vector.
+      ByteWriter plain;
+      plain.u64_vec(v);
+      ByteReader pr(plain.data());
+      std::vector<std::uint64_t> ref(64);
+      const std::size_t ref_n = pr.u64_vec_into(ref.data(), 64);
+      ref.resize(ref_n);
+      EXPECT_EQ(masked_round_trip(v, absent, value_bits), ref);
+      // And in fewer bytes whenever values pack below 64 bits: absent
+      // entries cost 1 bit instead of value_bits, and sub-64-bit values
+      // pack tighter than the plain format even when all are present. (At
+      // value_bits = 64 an all-present vector longer than 32 can spend
+      // more on mask bytes than the dropped length prefix, so no strict
+      // inequality holds there.)
+      ByteWriter masked;
+      masked.masked_u64_vec(v.data(), v.size(), absent, value_bits);
+      if (len > 0 && value_bits < 64) {
+        EXPECT_LT(masked.size(), plain.size());
+      }
+    }
+  }
+}
+
+TEST(MaskedCodec, EmptyVectorIsZeroBytes) {
+  ByteWriter w;
+  w.masked_u64_vec(nullptr, 0, 7, 61);
+  EXPECT_EQ(w.size(), 0u);
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.masked_u64_vec_into(nullptr, 0, 7, 61));
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(MaskedCodec, TruncatedMaskRejected) {
+  ByteWriter w;
+  w.u8(0xff);  // 13-entry vector needs 2 mask bytes; provide 1
+  ByteReader r(w.data());
+  std::vector<std::uint64_t> dst(13, 42);
+  EXPECT_FALSE(r.masked_u64_vec_into(dst.data(), 13, 0, 61));
+  EXPECT_FALSE(r.ok());
+  for (auto x : dst) EXPECT_EQ(x, 42u);  // dst untouched on failure
+}
+
+TEST(MaskedCodec, TruncatedPackedTailRejected) {
+  ByteWriter w;
+  w.u8(0x07);  // 3 of 8 entries present -> needs ceil(3*61/8) = 23 bytes
+  w.u64(1);    // only 8 provided
+  ByteReader r(w.data());
+  std::vector<std::uint64_t> dst(8, 42);
+  EXPECT_FALSE(r.masked_u64_vec_into(dst.data(), 8, 0, 61));
+  EXPECT_FALSE(r.ok());
+  for (auto x : dst) EXPECT_EQ(x, 42u);
+}
+
+TEST(MaskedCodec, OverlongTailFailsAtEnd) {
+  // Trailing bytes after the packed values are not consumed: the decode
+  // itself succeeds but the caller's at_end() contract rejects the
+  // payload, exactly like trailing garbage after a u64_vec.
+  std::vector<std::uint64_t> v{5, 6};
+  ByteWriter w;
+  w.masked_u64_vec(v.data(), v.size(), 7, 61);
+  w.u8(0xcc);
+  ByteReader r(w.data());
+  std::vector<std::uint64_t> dst(2);
+  EXPECT_TRUE(r.masked_u64_vec_into(dst.data(), 2, 7, 61));
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.at_end());
+}
+
+TEST(MaskedCodec, MaskBitsBeyondLengthRejected) {
+  ByteWriter w;
+  w.u8(0xff);  // 5-entry vector: bits 5..7 must be zero
+  ByteReader r(w.data());
+  std::vector<std::uint64_t> dst(5, 42);
+  EXPECT_FALSE(r.masked_u64_vec_into(dst.data(), 5, 0, 61));
+  EXPECT_FALSE(r.ok());
+  for (auto x : dst) EXPECT_EQ(x, 42u);
+}
+
+TEST(MaskedCodec, NonzeroPaddingBitsRejected) {
+  // One present 61-bit value packs into 8 bytes with 3 padding bits; set
+  // one of them.
+  ByteWriter w;
+  w.u8(0x01);
+  w.u64((std::uint64_t{1} << 61) | 123);  // bit 61 is padding
+  ByteReader r(w.data());
+  std::vector<std::uint64_t> dst(1, 42);
+  EXPECT_FALSE(r.masked_u64_vec_into(dst.data(), 1, 0, 61));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(dst[0], 42u);
+}
+
+TEST(MaskedCodec, SentinelSmugglingDecodesToTheSentinel) {
+  // A Byzantine encoder can mark an entry present and pack the sentinel
+  // value itself (it fits in 61 bits for the Mersenne prime). The decode
+  // must yield exactly the sentinel — indistinguishable from a masked-out
+  // entry to the caller's validity check — never some aliased value.
+  const std::uint64_t sentinel = (std::uint64_t{1} << 61) - 1;
+  ByteWriter w;
+  w.u8(0x01);
+  w.u64(sentinel);  // 61 value bits + 3 zero padding bits = 8 bytes
+  ByteReader r(w.data());
+  std::vector<std::uint64_t> dst(1, 0);
+  EXPECT_TRUE(r.masked_u64_vec_into(dst.data(), 1, sentinel, 61));
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(dst[0], sentinel);
+}
+
+TEST(MaskedCodec, WriterRejectsValuesWiderThanValueBits) {
+  const std::uint64_t v = std::uint64_t{1} << 13;
+  ByteWriter w;
+  EXPECT_THROW(w.masked_u64_vec(&v, 1, 0, 13), contract_error);
+  EXPECT_THROW(w.masked_u64_vec(&v, 1, 0, 0), contract_error);
+  EXPECT_THROW(w.masked_u64_vec(&v, 1, 0, 65), contract_error);
+}
+
+TEST(MaskedCodec, SixtyFourBitValuesSupported) {
+  std::vector<std::uint64_t> v{~std::uint64_t{0} - 1, 3,
+                               ~std::uint64_t{0} - 1};
+  EXPECT_EQ(masked_round_trip(v, 3, 64),
+            (std::vector<std::uint64_t>{~std::uint64_t{0} - 1, 3,
+                                        ~std::uint64_t{0} - 1}));
+}
+
+// --- Raw bitmask codec (ByteWriter::bits) ---------------------------------
+
+TEST(BitsCodec, RoundTripAcrossWordBoundary) {
+  for (std::size_t nbits : {std::size_t{1}, std::size_t{8}, std::size_t{13},
+                            std::size_t{64}, std::size_t{70}}) {
+    std::vector<std::uint64_t> words(bitword_count(nbits), 0);
+    Rng rng(5 + nbits);
+    for (std::size_t i = 0; i < nbits; ++i) {
+      bitword_set(words.data(), i, rng.next_bool());
+    }
+    ByteWriter w;
+    w.bits(words.data(), nbits);
+    EXPECT_EQ(w.size(), (nbits + 7) / 8);
+    std::vector<std::uint64_t> out(words.size(), ~std::uint64_t{0});
+    ByteReader r(w.data());
+    EXPECT_TRUE(r.bits_into(out.data(), nbits));
+    EXPECT_TRUE(r.at_end());
+    EXPECT_EQ(out, words);
+  }
+}
+
+TEST(BitsCodec, PaddingBitsRejected) {
+  ByteWriter w;
+  w.u8(0xff);
+  w.u8(0xff);  // 13-bit mask: bits 13..15 must be zero
+  ByteReader r(w.data());
+  std::uint64_t out = 42;
+  EXPECT_FALSE(r.bits_into(&out, 13));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(out, 42u);  // untouched on failure
+}
+
+TEST(BitsCodec, TruncatedRejected) {
+  ByteWriter w;
+  w.u8(0x11);
+  ByteReader r(w.data());
+  std::uint64_t out = 42;
+  EXPECT_FALSE(r.bits_into(&out, 13));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(out, 42u);
+}
+
 TEST(Bitwords, GetSetRoundTripAcrossWordBoundaries) {
   std::uint64_t words[3] = {0, 0, 0};
   ASSERT_EQ(bitword_count(130), 3u);
