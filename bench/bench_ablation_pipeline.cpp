@@ -1,81 +1,9 @@
-// Remark 4.1 ablation: ss-Byz-4-Clock (and the full k-clock stack) with one
-// coin-flipping pipeline per 2-clock vs a single shared pipeline.
-// Measures correct-node traffic (the remark's "message complexity"
-// improvement) and convergence (the remark predicts a constant-factor
-// change at most).
-#include <iostream>
-
-#include "bench_common.h"
-#include "harness/convergence.h"
-
-using namespace ssbft;
-using namespace ssbft::bench;
-
-namespace {
-
-EngineBuilder build_clock_sync_mode(World w, CoinPipelineMode mode) {
-  return [w, mode](std::uint64_t seed) {
-    EngineBundle b;
-    CoinSpec spec = fm_coin_spec();
-    auto adv = make_attack(w.attack, w.k, 0);
-    auto factory = [spec, k = w.k, mode](const ProtocolEnv& env, Rng rng) {
-      return std::make_unique<SsByzClockSync>(env, k, spec, rng, 0, mode);
-    };
-    b.engine = std::make_unique<Engine>(world_config(w, seed), factory,
-                                        std::move(adv));
-    return b;
-  };
-}
-
-EngineBuilder build_clock4_mode(World w, CoinPipelineMode mode) {
-  return [w, mode](std::uint64_t seed) {
-    EngineBundle b;
-    CoinSpec spec = fm_coin_spec();
-    auto adv = make_attack(w.attack, 4, 0);
-    auto factory = [spec, mode](const ProtocolEnv& env, Rng rng) {
-      return std::make_unique<SsByz4Clock>(env, spec, 0, rng, mode);
-    };
-    b.engine = std::make_unique<Engine>(world_config(w, seed), factory,
-                                        std::move(adv));
-    return b;
-  };
-}
-
-void report(const std::string& name, const EngineBuilder& builder,
-            AsciiTable& t) {
-  auto s = run_trials(builder, runner_config(12, 70, 6000));
-  t.add_row({name, fmt_double(s.mean, 1), fmt_double(s.p90, 0),
-             converged_cell(s), fmt_double(s.mean_msgs_per_beat, 1)});
-}
-
-}  // namespace
+// Thin wrapper over the experiment registry: `bench_ablation_pipeline` is exactly
+// `ssbft_bench run ablation_pipeline` (same CLI, same byte-identical default
+// output). The experiment body lives in experiments.cpp; the scenario
+// cells it runs are registered in src/harness/scenario.cpp.
+#include "experiments.h"
 
 int main(int argc, char** argv) {
-  parse_cli(argc, argv);
-  std::cout << "=== Remark 4.1 ablation: per-sub-clock vs shared coin "
-               "pipeline (full FM coin, n = 4, f = 1, noise) ===\n\n";
-  AsciiTable t({"configuration", "mean beats", "p90", "converged",
-                "msgs/beat"});
-  World w;
-  w.n = 4;
-  w.f = 1;
-  w.actual = 1;
-  w.k = 32;
-  w.attack = Attack::kNoise;
-
-  report("4-clock, two pipelines (Fig. 3)",
-         build_clock4_mode(w, CoinPipelineMode::kPerSubClock), t);
-  report("4-clock, shared pipeline (Rem. 4.1)",
-         build_clock4_mode(w, CoinPipelineMode::kShared), t);
-  report("k-clock k=32, two pipelines",
-         build_clock_sync_mode(w, CoinPipelineMode::kPerSubClock), t);
-  report("k-clock k=32, shared pipeline",
-         build_clock_sync_mode(w, CoinPipelineMode::kShared), t);
-
-  t.print(std::cout);
-  std::cout << "\nexpected shape: shared pipeline cuts messages/beat by a "
-               "constant factor with comparable expected convergence.\n";
-  std::cout << "\nCSV follows:\n";
-  t.print_csv(std::cout);
-  return 0;
+  return ssbft::bench::bench_main("ablation_pipeline", argc, argv);
 }

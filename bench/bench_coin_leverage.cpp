@@ -1,153 +1,9 @@
-// Coin-leverage experiment (Section 6.1): how much of the paper's result
-// is "the coin"?
-//
-// The discussion section argues the self-stabilizing shared coin is a
-// general tool: retrofitting it into the Dolev-Welch-style gamble turns
-// the exponential all-local-coins-align event into a constant-probability
-// common event. We measure four rungs of the ladder under the same
-// adversaries and (n, f) grid:
-//
-//   DW + local coins      (the [9,10] baseline: expected exponential)
-//   DW + shared coin      (Section 6.1 retrofit: expected O(1/p0))
-//   DW + shared FM coin   (same, on the real GVSS message-level coin)
-//   ss-Byz-Clock-Sync     (the paper's full algorithm)
-//
-// A second table runs the adaptive quorum splitter — the strongest
-// clock-channel attack the model admits — against the retrofit and the
-// full algorithm.
-#include <iostream>
-
-#include "bench_common.h"
-
-using namespace ssbft;
-using namespace ssbft::bench;
-
-namespace {
-
-enum class DwMode { kLocal, kSharedOracle, kSharedFm };
-
-EngineBuilder build_dw_variant(World w, DwMode mode, bool adaptive) {
-  return [w, mode, adaptive](std::uint64_t seed) {
-    EngineBundle b;
-    std::shared_ptr<OracleBeacon> beacon;
-    CoinSpec spec;
-    if (mode == DwMode::kSharedOracle) {
-      beacon = std::make_shared<OracleBeacon>(w.n, OracleCoinParams{0.45, 0.45},
-                                              Rng(seed).split("beacon"));
-      spec = oracle_coin_spec(beacon);
-    } else if (mode == DwMode::kSharedFm) {
-      spec = fm_coin_spec();
-    }
-    auto factory = [mode, spec, k = w.k](const ProtocolEnv& env, Rng rng)
-        -> std::unique_ptr<Protocol> {
-      if (mode == DwMode::kLocal) {
-        return std::make_unique<DolevWelchClock>(env, k, rng);
-      }
-      return std::make_unique<DolevWelchSharedCoin>(env, k, spec, rng);
-    };
-    std::unique_ptr<Adversary> adv;
-    if (w.actual > 0) {
-      adv = adaptive ? make_adaptive_quorum_splitter(w.k, 0)
-                     : make_attack(w.attack, w.k, 0);
-    }
-    b.engine = std::make_unique<Engine>(world_config(w, seed), factory,
-                                        std::move(adv));
-    if (beacon) {
-      b.engine->add_listener(beacon.get());
-      b.keepalive = beacon;
-    }
-    return b;
-  };
-}
-
-EngineBuilder build_sync_adaptive(World w) {
-  return [w](std::uint64_t seed) {
-    EngineBundle b;
-    auto beacon = std::make_shared<OracleBeacon>(
-        w.n, OracleCoinParams{0.45, 0.45}, Rng(seed).split("beacon"));
-    CoinSpec spec = oracle_coin_spec(beacon);
-    auto factory = [spec, k = w.k](const ProtocolEnv& env, Rng rng) {
-      return std::make_unique<SsByzClockSync>(env, k, spec, rng);
-    };
-    b.engine = std::make_unique<Engine>(
-        world_config(w, seed), factory,
-        make_adaptive_quorum_splitter(w.k, 0));
-    b.engine->add_listener(beacon.get());
-    b.keepalive = beacon;
-    return b;
-  };
-}
-
-std::string cell(const TrialStats& s, std::uint64_t cap) {
-  if (s.converged == 0) return ">" + std::to_string(cap);
-  std::string out = fmt_double(s.mean, 1);
-  if (s.converged < s.trials) {
-    out += " (" + std::to_string(s.trials - s.converged) + " censored)";
-  }
-  return out;
-}
-
-}  // namespace
+// Thin wrapper over the experiment registry: `bench_coin_leverage` is exactly
+// `ssbft_bench run coin_leverage` (same CLI, same byte-identical default
+// output). The experiment body lives in experiments.cpp; the scenario
+// cells it runs are registered in src/harness/scenario.cpp.
+#include "experiments.h"
 
 int main(int argc, char** argv) {
-  parse_cli(argc, argv);
-  std::cout << "=== Coin leverage (Section 6.1): the same gamble, three "
-               "coins (k = 8, split adversary) ===\n\n";
-  AsciiTable t({"n", "f", "DW local coins", "DW + shared coin",
-                "DW + shared FM coin", "ss-Byz-Clock-Sync"});
-  struct NF {
-    std::uint32_t n, f;
-  };
-  for (const auto [n, f] : {NF{4, 1}, NF{7, 2}, NF{10, 3}}) {
-    World w;
-    w.n = n;
-    w.f = f;
-    w.actual = f;
-    w.k = 8;
-    w.attack = Attack::kSplit;
-
-    auto measure = [&](const EngineBuilder& b, std::uint64_t cap,
-                       std::uint64_t trials) {
-      return run_trials(b, runner_config(trials, 90 + n, cap));
-    };
-    const std::uint64_t cap = 60000;
-    auto local = measure(build_dw_variant(w, DwMode::kLocal, false), cap, 10);
-    auto shared =
-        measure(build_dw_variant(w, DwMode::kSharedOracle, false), 4000, 20);
-    auto shared_fm =
-        measure(build_dw_variant(w, DwMode::kSharedFm, false), 4000, 10);
-    World ws = w;
-    ws.attack = Attack::kSkew;
-    auto full = measure(build_clock_sync(ws), 8000, 20);
-    t.add_row({std::to_string(n), std::to_string(f), cell(local, cap),
-               cell(shared, 4000), cell(shared_fm, 4000), cell(full, 8000)});
-  }
-  t.print(std::cout);
-  std::cout << "\nexpected shape: column 1 explodes with n-f; columns 2-4 "
-               "stay constant — the coin is where the exponential/constant "
-               "divide lives.\n";
-
-  std::cout << "\n=== Adaptive quorum splitter (strongest clock-channel "
-               "attack) ===\n\n";
-  AsciiTable t2({"n", "f", "DW + shared coin", "ss-Byz-Clock-Sync"});
-  for (const auto [n, f] : {NF{4, 1}, NF{7, 2}}) {
-    World w;
-    w.n = n;
-    w.f = f;
-    w.actual = f;
-    w.k = 8;
-    RunnerConfig rc = runner_config(20, 95 + n, 20000);
-    auto dw = run_trials(build_dw_variant(w, DwMode::kSharedOracle, true), rc);
-    auto sync = run_trials(build_sync_adaptive(w), rc);
-    t2.add_row({std::to_string(n), std::to_string(f),
-                cell(dw, 20000) + " [" + converged_cell(dw) + "]",
-                cell(sync, 20000) + " [" + converged_cell(sync) + "]"});
-  }
-  t2.print(std::cout);
-  std::cout << "\nthe splitter sustains a partition whenever a value's "
-               "correct support lands in [n-2f, n-f); the paper's algorithm "
-               "re-merges the groups through the phase-3 common gamble.\n";
-  std::cout << "\nCSV follows:\n";
-  t.print_csv(std::cout);
-  return 0;
+  return ssbft::bench::bench_main("coin_leverage", argc, argv);
 }

@@ -1,149 +1,9 @@
-// Coin-quality experiment (Figure 1 / Definitions 2.6-2.8 / Theorem 1):
-// measures, for the ss-Byz-Coin-Flip pipeline over the FM-style GVSS coin,
-//
-//   * commonality: fraction of beats on which ALL correct nodes output the
-//     same bit (>= p0 + p1 by Definition 2.7);
-//   * the split into measured p0 (all-zero beats) and p1 (all-one beats);
-//   * stabilization: beats until the first common bit after a cold
-//     (corrupted-genesis) start — Lemma 1 predicts Delta_A = 4;
-//
-// per adversary, including the dedicated GVSS attacker that probes the
-// simplified recovery rule's divergence gap (see fm_coin.h). The oracle
-// coin is included as the calibrated reference.
-#include <iostream>
-
-#include "bench_common.h"
-#include "coin/coin_interface.h"
-#include "coin/fm_coin.h"
-
-using namespace ssbft;
-using namespace ssbft::bench;
-
-namespace {
-
-// Host protocol recording the per-beat bit stream (bench-local copy of the
-// test helper, kept here so bench/ is self-contained).
-class CoinHost final : public Protocol {
- public:
-  CoinHost(const ProtocolEnv& env, const CoinSpec& spec, Rng rng)
-      : channels_(spec.channels == 0 ? 1 : spec.channels),
-        coin_(spec.make(env, 0, rng)) {}
-  void send_phase(Outbox& out) override { coin_->send_phase(out); }
-  void receive_phase(const Inbox& in) override {
-    bits_.push_back(coin_->receive_phase(in));
-  }
-  void randomize_state(Rng& rng) override { coin_->randomize_state(rng); }
-  std::uint32_t channel_count() const override { return channels_; }
-  const std::vector<bool>& bits() const { return bits_; }
-
- private:
-  std::uint32_t channels_;
-  std::unique_ptr<CoinComponent> coin_;
-  std::vector<bool> bits_;
-};
-
-struct CoinStats {
-  double common = 0, p0 = 0, p1 = 0;
-  std::uint64_t first_common = 0;
-};
-
-CoinStats measure(std::uint32_t n, std::uint32_t f, bool oracle,
-                  Attack attack, std::uint64_t beats, std::uint64_t seed) {
-  EngineConfig cfg;
-  cfg.n = n;
-  cfg.f = f;
-  cfg.faulty = EngineConfig::last_ids_faulty(n, f);
-  cfg.seed = seed;
-  std::shared_ptr<OracleBeacon> beacon;
-  CoinSpec spec;
-  if (oracle) {
-    beacon = std::make_shared<OracleBeacon>(n, OracleCoinParams{0.45, 0.45},
-                                            Rng(seed).split("beacon"));
-    spec = oracle_coin_spec(beacon);
-  } else {
-    spec = fm_coin_spec();
-  }
-  auto factory = [&spec](const ProtocolEnv& env, Rng rng) {
-    return std::make_unique<CoinHost>(env, spec, rng);
-  };
-  Engine eng(cfg, factory, f == 0 ? nullptr : make_attack(attack, 2, 0));
-  if (beacon) eng.add_listener(beacon.get());
-  eng.run_beats(beats);
-
-  std::vector<const CoinHost*> hosts;
-  for (NodeId id : eng.correct_ids()) {
-    hosts.push_back(dynamic_cast<const CoinHost*>(&eng.node(id)));
-  }
-  CoinStats out;
-  bool found_first = false;
-  std::uint64_t common = 0, zeros = 0, ones = 0, counted = 0;
-  const std::size_t warmup = FmCoinInstance::kRounds;
-  for (std::size_t i = 0; i < beats; ++i) {
-    bool all_same = true;
-    for (const auto* h : hosts) {
-      if (h->bits()[i] != hosts[0]->bits()[i]) all_same = false;
-    }
-    if (all_same && !found_first) {
-      found_first = true;
-      out.first_common = i;
-    }
-    if (i < warmup) continue;
-    ++counted;
-    if (all_same) {
-      ++common;
-      (hosts[0]->bits()[i] ? ones : zeros)++;
-    }
-  }
-  out.common = static_cast<double>(common) / static_cast<double>(counted);
-  out.p0 = static_cast<double>(zeros) / static_cast<double>(counted);
-  out.p1 = static_cast<double>(ones) / static_cast<double>(counted);
-  return out;
-}
-
-}  // namespace
+// Thin wrapper over the experiment registry: `bench_coin_quality` is exactly
+// `ssbft_bench run coin_quality` (same CLI, same byte-identical default
+// output). The experiment body lives in experiments.cpp; the scenario
+// cells it runs are registered in src/harness/scenario.cpp.
+#include "experiments.h"
 
 int main(int argc, char** argv) {
-  parse_cli(argc, argv);
-  if (options().trials != 0 || options().jobs != 0) {
-    std::cerr << "note: this bench measures fixed single-engine bit streams; "
-                 "--trials/--jobs have no effect here (--seed applies)\n";
-  }
-  std::cout << "=== Coin quality: ss-Byz-Coin-Flip over the FM-style GVSS "
-               "coin (Theorem 1) ===\n"
-            << "columns: commonality = measured p0+p1 (+accidental), split "
-               "p0/p1, first common bit (Lemma 1: <= Delta_A = 4 after "
-               "corrupted genesis)\n\n";
-
-  AsciiTable t({"coin", "n", "f", "adversary", "common", "p0", "p1",
-                "first common beat"});
-  struct Row {
-    bool oracle;
-    std::uint32_t n, f;
-    Attack attack;
-    const char* name;
-  };
-  const Row rows[] = {
-      {false, 4, 0, Attack::kSilent, "(none)"},
-      {false, 4, 1, Attack::kSilent, "silent"},
-      {false, 4, 1, Attack::kNoise, "noise"},
-      {false, 4, 1, Attack::kCoinAttack, "gvss-attacker"},
-      {false, 7, 2, Attack::kSilent, "silent"},
-      {false, 7, 2, Attack::kNoise, "noise"},
-      {false, 7, 2, Attack::kCoinAttack, "gvss-attacker"},
-      {false, 10, 3, Attack::kCoinAttack, "gvss-attacker"},
-      {true, 7, 2, Attack::kSilent, "silent (oracle ref)"},
-  };
-  for (const auto& r : rows) {
-    const std::uint64_t beats = r.n >= 10 ? 300 : 800;
-    auto s =
-        measure(r.n, r.f, r.oracle, r.attack, beats, shifted_seed(42) + r.n);
-    t.add_row({r.oracle ? "oracle(0.45/0.45)" : "fm-gvss",
-               std::to_string(r.n), std::to_string(r.f), r.name,
-               fmt_double(s.common, 3), fmt_double(s.p0, 3),
-               fmt_double(s.p1, 3), std::to_string(s.first_common)});
-  }
-  t.print(std::cout);
-  std::cout << "\nCSV follows:\n";
-  t.print_csv(std::cout);
-  return 0;
+  return ssbft::bench::bench_main("coin_quality", argc, argv);
 }

@@ -1,93 +1,9 @@
-// Convergence-tail experiment (Theorem 2's closing remark): the
-// probability of NOT having converged by beat b decays geometrically —
-// every beat carries a constant success chance, independent of history.
-//
-// Series printed: survival function P[synced_at > b] for ss-Byz-2-Clock
-// and ss-Byz-Clock-Sync, across trials, plus the per-cycle empirical
-// success rate implied by the decay.
-#include <algorithm>
-#include <iostream>
-
-#include "bench_common.h"
-#include "core/clock2.h"
-#include "harness/convergence.h"
-
-using namespace ssbft;
-using namespace ssbft::bench;
-
-namespace {
-
-EngineBuilder build_clock2_world(std::uint32_t n, std::uint32_t f) {
-  return [n, f](std::uint64_t seed) {
-    EngineBundle b;
-    auto beacon = std::make_shared<OracleBeacon>(
-        n, OracleCoinParams{0.45, 0.45}, Rng(seed).split("beacon"));
-    CoinSpec spec = oracle_coin_spec(beacon);
-    EngineConfig cfg;
-    cfg.n = n;
-    cfg.f = f;
-    cfg.faulty = EngineConfig::last_ids_faulty(n, f);
-    cfg.seed = seed;
-    auto factory = [spec](const ProtocolEnv& env, Rng rng) {
-      return std::make_unique<SsByz2Clock>(env, spec, 0, rng);
-    };
-    ByteWriter x, y;
-    x.u8(0);
-    y.u8(1);
-    b.engine = std::make_unique<Engine>(
-        cfg, factory,
-        f > 0 ? make_split_value_adversary(0, std::move(x).take(),
-                                           std::move(y).take())
-              : nullptr);
-    b.engine->add_listener(beacon.get());
-    b.keepalive = beacon;
-    return b;
-  };
-}
-
-void tail_series(const std::string& name, const EngineBuilder& builder,
-                 std::uint64_t trials, std::uint64_t max_beats) {
-  auto stats = run_trials(builder, runner_config(trials, 10, max_beats));
-
-  std::cout << "--- " << name << ": " << converged_cell(stats)
-            << " converged, mean " << fmt_double(stats.mean, 2) << ", p90 "
-            << fmt_double(stats.p90, 1) << ", max " << stats.max << " ---\n";
-  std::sort(stats.samples.begin(), stats.samples.end());
-  AsciiTable t({"beat b", "P[not converged by b]"});
-  for (std::uint64_t b = 0; b <= stats.max + 2; b += std::max<std::uint64_t>(1, (stats.max + 2) / 12)) {
-    const auto below = static_cast<std::uint64_t>(
-        std::upper_bound(stats.samples.begin(), stats.samples.end(), b) -
-        stats.samples.begin());
-    const double surv =
-        1.0 - static_cast<double>(below) / static_cast<double>(stats.trials);
-    t.add_row({std::to_string(b), fmt_double(surv, 3)});
-  }
-  t.print(std::cout);
-  // Geometric-decay readout: fit P[T > b] ~ exp(-b/tau) via the mean.
-  if (stats.converged == stats.trials && stats.mean > 0) {
-    std::cout << "implied per-beat success rate ~ "
-              << fmt_double(1.0 / (stats.mean + 1), 3) << "\n";
-  }
-  std::cout << "\n";
-}
-
-}  // namespace
+// Thin wrapper over the experiment registry: `bench_convergence_tail` is exactly
+// `ssbft_bench run convergence_tail` (same CLI, same byte-identical default
+// output). The experiment body lives in experiments.cpp; the scenario
+// cells it runs are registered in src/harness/scenario.cpp.
+#include "experiments.h"
 
 int main(int argc, char** argv) {
-  parse_cli(argc, argv);
-  std::cout << "=== Convergence-tail experiment (Theorem 2 remark: "
-               "geometric decay) ===\n\n";
-  tail_series("ss-Byz-2-Clock n=4 f=1 (split attack)",
-              build_clock2_world(4, 1), 400, 4000);
-  tail_series("ss-Byz-2-Clock n=13 f=4 (split attack)",
-              build_clock2_world(13, 4), 400, 4000);
-  World w;
-  w.n = 7;
-  w.f = 2;
-  w.actual = 2;
-  w.k = 64;
-  w.attack = Attack::kSkew;
-  tail_series("ss-Byz-Clock-Sync n=7 f=2 k=64 (skew attack)",
-              build_clock_sync(w), 200, 8000);
-  return 0;
+  return ssbft::bench::bench_main("convergence_tail", argc, argv);
 }

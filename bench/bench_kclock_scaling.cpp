@@ -1,54 +1,9 @@
-// k-scaling experiment (Section 5): ss-Byz-Clock-Sync's constant overhead
-// vs the cascade construction's growth with k.
-//
-// The paper: cascading 2-clocks solves 2^L-clock with log k concurrent
-// sub-protocols (message overhead ~ log k) and convergence that degrades
-// with k (upper levels step once per 2^i beats); ss-Byz-Clock-Sync pays a
-// constant factor for ANY k. We sweep k = 4..256 and report measured
-// convergence beats and correct-node messages per beat for both.
-#include <iostream>
-
-#include "bench_common.h"
-
-using namespace ssbft;
-using namespace ssbft::bench;
+// Thin wrapper over the experiment registry: `bench_kclock_scaling` is exactly
+// `ssbft_bench run kclock_scaling` (same CLI, same byte-identical default
+// output). The experiment body lives in experiments.cpp; the scenario
+// cells it runs are registered in src/harness/scenario.cpp.
+#include "experiments.h"
 
 int main(int argc, char** argv) {
-  parse_cli(argc, argv);
-  std::cout << "=== k-Clock scaling: Figure-4 algorithm vs Section-5 "
-               "cascade (n = 4, f = 1, noise adversary) ===\n\n";
-  AsciiTable t({"k", "algorithm", "mean beats", "p90", "converged",
-                "msgs/beat"});
-  for (std::uint32_t levels = 2; levels <= 8; levels += 2) {
-    const ClockValue k = ClockValue{1} << levels;
-    World w;
-    w.n = 4;
-    w.f = 1;
-    w.actual = 1;
-    w.k = k;
-    w.attack = Attack::kNoise;
-
-    RunnerConfig rc = runner_config(15, 60 + levels, 30000);
-    rc.convergence.confirm_window = 2 * k + 8;
-
-    auto sync_stats = run_trials(build_clock_sync(w), rc);
-    t.add_row({std::to_string(k), "ss-Byz-Clock-Sync",
-               fmt_double(sync_stats.mean, 1), fmt_double(sync_stats.p90, 0),
-               converged_cell(sync_stats),
-               fmt_double(sync_stats.mean_msgs_per_beat, 1)});
-
-    auto casc_stats = run_trials(build_cascade(w, levels), rc);
-    t.add_row({std::to_string(k), "cascade (Sec. 5)",
-               casc_stats.converged ? fmt_double(casc_stats.mean, 1)
-                                    : "none converged",
-               fmt_double(casc_stats.p90, 0), converged_cell(casc_stats),
-               fmt_double(casc_stats.mean_msgs_per_beat, 1)});
-  }
-  t.print(std::cout);
-  std::cout << "\nexpected shape: ss-Byz-Clock-Sync roughly flat in k; "
-               "cascade convergence grows with k (level i steps once per "
-               "2^i beats) and its traffic grows ~ log k.\n";
-  std::cout << "\nCSV follows:\n";
-  t.print_csv(std::cout);
-  return 0;
+  return ssbft::bench::bench_main("kclock_scaling", argc, argv);
 }

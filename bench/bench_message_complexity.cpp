@@ -1,168 +1,9 @@
-// Message-complexity experiment: correct-node traffic per beat vs n for
-// every algorithm family (Table 1's families plus the cascade), measured
-// after convergence so the steady state is compared.
-//
-// Expected shape: Dolev-Welch O(n^2) messages of O(1) words; pipelined BA
-// clocks O(f * n^2) (R concurrent instances, R ~ f); ss-Byz-Clock-Sync
-// with the FM coin O(n^2) messages but O(n) words each from the GVSS
-// rounds (O(n^3) words per beat); with the oracle coin, O(n^2) total.
-#include <iostream>
-#include <sstream>
-
-#include "bench_common.h"
-
-using namespace ssbft;
-using namespace ssbft::bench;
-
-namespace {
-
-struct Traffic {
-  double msgs = 0, bytes = 0;
-};
-
-// Mean traffic over the second half of the run (the first half is warmup).
-Traffic second_half_mean(const Engine& eng) {
-  const auto& hist = eng.metrics().history();
-  Traffic t;
-  std::uint64_t counted = 0;
-  for (std::size_t i = hist.size() / 2; i < hist.size(); ++i) {
-    t.msgs += static_cast<double>(hist[i].correct_messages);
-    t.bytes += static_cast<double>(hist[i].correct_bytes);
-    ++counted;
-  }
-  t.msgs /= static_cast<double>(counted);
-  t.bytes /= static_cast<double>(counted);
-  return t;
-}
-
-Traffic steady_state(const EngineBuilder& builder, std::uint64_t beats) {
-  auto bundle = builder(shifted_seed(123));
-  bundle.engine->run_beats(beats);
-  return second_half_mean(*bundle.engine);
-}
-
-// Channel labels for the full FM stack rooted at 0, derived from the same
-// layout arithmetic the stack itself uses (SsByzClockSync: three own
-// channels, then SsByz4Clock in per-sub-clock mode — each 2-clock owns one
-// clock channel + a coin pipeline — then the phase-3 coin), so the table
-// tracks any change to the composition.
-std::string fm_channel_label(ChannelId ch) {
-  static const char* kRound[] = {"deal", "cross", "votes", "shares"};
-  const std::uint32_t coin_chs = FmCoinInstance::kRounds;
-  const auto coin_round = [&](const char* host, std::uint32_t r) {
-    std::string label = std::string("coin[") + host + "] ";
-    if (r < 4) {
-      label += kRound[r];
-    } else {
-      label += "r" + std::to_string(r + 1);
-    }
-    return label;
-  };
-  if (ch < 3) {
-    return std::string("clock-sync ") +
-           (ch == 0 ? "full" : ch == 1 ? "prop" : "bit");
-  }
-  std::uint32_t off = ch - 3;  // into SsByz4Clock's per-sub-clock block
-  const std::uint32_t sub = 1 + coin_chs;  // one SsByz2Clock's channels
-  if (off < sub) {
-    return off == 0 ? "2clk[a1] tri" : coin_round("a1", off - 1);
-  }
-  off -= sub;
-  if (off < sub) {
-    return off == 0 ? "2clk[a2] tri" : coin_round("a2", off - 1);
-  }
-  off -= sub;
-  if (off < coin_chs) return coin_round("p3", off);
-  return "ch " + std::to_string(ch);
-}
-
-// Steady-state per-round (= per-channel) byte breakdown from an engine
-// whose second-half window was measured with channel tracking on.
-void print_fm_round_breakdown(const Engine& eng, std::uint32_t n,
-                              std::uint32_t f, std::ostream& os) {
-  const auto& per_ch = eng.channel_bytes();
-  const double window = static_cast<double>(eng.channel_bytes_beats());
-  double total = 0;
-  for (std::uint64_t b : per_ch) total += static_cast<double>(b);
-  os << "per-round bytes/beat, ss-Byz-Clock-Sync (FM coin), n = " << n
-     << ", f = " << f << ":\n";
-  AsciiTable rt({"round (channel)", "bytes/beat", "share"});
-  for (std::size_t ch = 0; ch < per_ch.size(); ++ch) {
-    const double per_beat = static_cast<double>(per_ch[ch]) / window;
-    rt.add_row({fm_channel_label(static_cast<ChannelId>(ch)) + " (" +
-                    std::to_string(ch) + ")",
-                fmt_double(per_beat, 1),
-                fmt_double(100.0 * static_cast<double>(per_ch[ch]) / total, 1) +
-                    "%"});
-  }
-  rt.print(os);
-  os << "\n";
-}
-
-}  // namespace
+// Thin wrapper over the experiment registry: `bench_message_complexity` is exactly
+// `ssbft_bench run message_complexity` (same CLI, same byte-identical default
+// output). The experiment body lives in experiments.cpp; the scenario
+// cells it runs are registered in src/harness/scenario.cpp.
+#include "experiments.h"
 
 int main(int argc, char** argv) {
-  parse_cli(argc, argv);
-  if (options().trials != 0 || options().jobs != 0) {
-    std::cerr << "note: this bench measures one steady-state engine per row; "
-                 "--trials/--jobs have no effect here (--seed applies)\n";
-  }
-  std::cout << "=== Steady-state traffic per beat (all correct nodes, "
-               "k = 16, silent adversary) ===\n\n";
-  AsciiTable t({"algorithm", "n", "f", "msgs/beat", "KiB/beat",
-                "msgs/beat/node"});
-  std::ostringstream breakdown;
-  struct NF {
-    std::uint32_t n, f;
-  };
-  for (const auto [n, f] : {NF{4, 1}, NF{7, 2}, NF{10, 3}, NF{13, 4}}) {
-    World w;
-    w.n = n;
-    w.f = f;
-    w.actual = f;
-    w.k = 16;
-    w.attack = Attack::kSilent;
-
-    auto add_traffic = [&](const std::string& name, const Traffic& tr) {
-      t.add_row({name, std::to_string(n), std::to_string(f),
-                 fmt_double(tr.msgs, 0), fmt_double(tr.bytes / 1024.0, 1),
-                 fmt_double(tr.msgs / (n - f), 1)});
-    };
-    auto add = [&](const std::string& name, const EngineBuilder& b,
-                   std::uint64_t beats) {
-      add_traffic(name, steady_state(b, beats));
-    };
-
-    add("Dolev-Welch [10]", build_dolev_welch(w), 400);
-    {
-      World wq = w;
-      wq.f = (n - 1) / 4;
-      wq.actual = wq.f;
-      add("pipelined queen [15]", build_pipelined(wq, false), 200);
-    }
-    add("pipelined king [7]", build_pipelined(w, true), 200);
-    add("ss-Byz-Clock-Sync (oracle)", build_clock_sync(w), 300);
-    {
-      // One tracked run feeds both the table row and the per-round
-      // breakdown (channel tracking changes nothing but wall-clock).
-      World wf = w;
-      wf.coin = CoinKind::kFm;
-      wf.track_channel_bytes = true;
-      const std::uint64_t beats = n >= 10 ? 60 : 150;
-      auto bundle = build_clock_sync(wf)(shifted_seed(123));
-      bundle.engine->run_beats(beats / 2);
-      bundle.engine->reset_channel_bytes();
-      bundle.engine->run_beats(beats - beats / 2);
-      add_traffic("ss-Byz-Clock-Sync (FM coin)",
-                  second_half_mean(*bundle.engine));
-      print_fm_round_breakdown(*bundle.engine, n, f, breakdown);
-    }
-  }
-  t.print(std::cout);
-  std::cout << "\n=== FM-coin stack, steady-state per-round byte breakdown "
-               "===\n\n";
-  std::cout << breakdown.str();
-  std::cout << "CSV follows:\n";
-  t.print_csv(std::cout);
-  return 0;
+  return ssbft::bench::bench_main("message_complexity", argc, argv);
 }

@@ -1,67 +1,9 @@
-// Resiliency-boundary experiment (Table 1's resiliency column): the
-// f < n/4 vs f < n/3 divide.
-//
-// For each family we hold n = 13 and sweep the *actual* number of
-// Byzantine nodes across the theoretical boundaries, keeping each
-// protocol's assumed bound at its legal maximum. Phase-queen machinery
-// ([15] class) is certified only for f < n/4 = 3; phase-king and
-// ss-Byz-Clock-Sync tolerate f < n/3 = 4; nothing survives f > n/3
-// (quorum intersection fails: n - f <= 2f). We report the fraction of
-// trials that converge AND hold closure.
-#include <iostream>
-
-#include "bench_common.h"
-
-using namespace ssbft;
-using namespace ssbft::bench;
-
-namespace {
-
-double survival(const EngineBuilder& builder, std::uint64_t trials,
-                std::uint64_t max_beats) {
-  RunnerConfig rc = runner_config(trials, 77, max_beats);
-  rc.convergence.confirm_window = 24;
-  auto s = run_trials(builder, rc);
-  return s.convergence_rate();
-}
-
-}  // namespace
+// Thin wrapper over the experiment registry: `bench_resiliency` is exactly
+// `ssbft_bench run resiliency` (same CLI, same byte-identical default
+// output). The experiment body lives in experiments.cpp; the scenario
+// cells it runs are registered in src/harness/scenario.cpp.
+#include "experiments.h"
 
 int main(int argc, char** argv) {
-  parse_cli(argc, argv);
-  const std::uint32_t n = 13;
-  std::cout << "=== Resiliency boundaries at n = " << n
-            << " (skew adversary, " << trials_or(10) << " trials/cell) ===\n"
-            << "floor((n-1)/4) = 3, floor((n-1)/3) = 4, n/3 ceil = 5\n\n";
-
-  AsciiTable t({"actual faulty", "queen [15] (f<n/4)", "king [7] (f<n/3)",
-                "ss-Byz-Clock-Sync (f<n/3)"});
-
-  for (std::uint32_t actual : {0u, 2u, 3u, 4u, 5u}) {
-    World wq;  // queen assumes its own legal max f = 3
-    wq.n = n;
-    wq.f = 3;
-    wq.actual = actual;
-    wq.k = 16;
-    wq.attack = Attack::kSkew;
-
-    World wk = wq;  // king and the paper assume f = 4
-    wk.f = 4;
-
-    const double q = survival(build_pipelined(wq, /*king=*/false), 10, 3000);
-    const double k = survival(build_pipelined(wk, /*king=*/true), 10, 3000);
-    const double s = survival(build_clock_sync(wk), 10, 8000);
-    t.add_row({std::to_string(actual), fmt_double(q, 2), fmt_double(k, 2),
-               fmt_double(s, 2)});
-  }
-
-  t.print(std::cout);
-  std::cout << "\nexpected shape: all columns 1.00 up to their bound; the "
-               "queen column may degrade beyond f = 3; every column "
-               "collapses at f = 5 > n/3 (no protocol can survive — the "
-               "f < n/3 bound is optimal, which is the paper's resiliency "
-               "claim).\n";
-  std::cout << "\nCSV follows:\n";
-  t.print_csv(std::cout);
-  return 0;
+  return ssbft::bench::bench_main("resiliency", argc, argv);
 }

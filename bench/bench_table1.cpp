@@ -1,130 +1,9 @@
-// Table 1 reproduction — the paper's evaluation artifact.
-//
-// Paper's claim (synchronous-model rows):
-//   [10]  probabilistic  O(2^(2(n-f)))  f < n/3
-//   [15]  deterministic  O(f)           f < n/4
-//   [7]   deterministic  O(f)           f < n/3
-//   this  probabilistic  O(1)           f < n/3
-//
-// We measure expected convergence beats empirically across an (n, f) sweep
-// for all four families (k = 64, skew/split adversaries, genesis-random
-// state) and print the measured growth next to the theoretical class. The
-// semi-synchronous rows of Table 1 are a different model and out of scope
-// (DESIGN.md substitution 2).
-#include <iostream>
-
-#include "bench_common.h"
-
-using namespace ssbft;
-using namespace ssbft::bench;
-
-namespace {
-
-TrialStats run(const EngineBuilder& builder, std::uint64_t trials,
-               std::uint64_t max_beats, std::uint64_t seed0) {
-  return run_trials(builder, runner_config(trials, seed0, max_beats));
-}
-
-}  // namespace
+// Thin wrapper over the experiment registry: `bench_table1` is exactly
+// `ssbft_bench run table1` (same CLI, same byte-identical default
+// output). The experiment body lives in experiments.cpp; the scenario
+// cells it runs are registered in src/harness/scenario.cpp.
+#include "experiments.h"
 
 int main(int argc, char** argv) {
-  parse_cli(argc, argv);
-  std::cout << "=== Table 1 (PODC'08): measured convergence, synchronous "
-               "model, k = 64 ===\n\n";
-
-  // "det. bound" = the deterministic worst-case convergence guarantee
-  // (pipeline depth + 2 for the BA clocks — grows linearly in f, the O(f)
-  // column of Table 1; "-" for the randomized algorithms). Measured means
-  // sit far below it because random garbage tends to collapse onto the
-  // protocols' default values; the bound is what an adversarial initial
-  // state can force.
-  AsciiTable table({"algorithm", "paper bound", "resiliency", "n", "f",
-                    "mean beats", "p90", "det. bound", "converged"});
-
-  struct NF {
-    std::uint32_t n, f;
-  };
-  const NF grid[] = {{4, 1}, {7, 2}, {10, 3}, {13, 4}};
-
-  for (const auto [n, f] : grid) {
-    World w;
-    w.n = n;
-    w.f = f;
-    w.actual = f;
-    w.k = 64;
-
-    // [10] Dolev-Welch-style randomized: exponential. Budget-capped; the
-    // larger sizes are expected to blow through the cap — that *is* the
-    // result. (Split attack on its single clock channel.)
-    {
-      w.attack = Attack::kSplit;
-      const std::uint64_t cap = 60000;
-      auto s = run(build_dolev_welch(w), 10, cap, 1000 + n);
-      table.add_row({"Dolev-Welch [10]", "O(2^(2(n-f)))", "f < n/3",
-                     std::to_string(n), std::to_string(f),
-                     s.converged ? fmt_double(s.mean, 0) : ">" + std::to_string(cap),
-                     s.converged ? fmt_double(s.p90, 0) : "-", "-",
-                     converged_cell(s)});
-    }
-    // [15] pipelined phase-queen: deterministic O(f), needs f < n/4 — run
-    // at its own legal configuration (same n, f' = floor((n-1)/4)).
-    {
-      World wq = w;
-      wq.f = (n - 1) / 4;
-      wq.actual = wq.f;
-      wq.attack = Attack::kSkew;
-      auto s = run(build_pipelined(wq, /*king=*/false), 20, 4000, 2000 + n);
-      const int bound = 2 + 2 * (static_cast<int>(wq.f) + 1) + 2 + 2;
-      table.add_row({"pipelined queen [15]", "O(f)", "f < n/4",
-                     std::to_string(n), std::to_string(wq.f), stat_cell(s),
-                     fmt_double(s.p90, 0), std::to_string(bound),
-                     converged_cell(s)});
-    }
-    // [7] pipelined TC+phase-king: deterministic O(f), f < n/3.
-    {
-      w.attack = Attack::kSkew;
-      auto s = run(build_pipelined(w, /*king=*/true), 20, 4000, 3000 + n);
-      const int bound = 2 + 3 * (static_cast<int>(f) + 1) + 2 + 2;
-      table.add_row({"pipelined king [7]", "O(f)", "f < n/3",
-                     std::to_string(n), std::to_string(f), stat_cell(s),
-                     fmt_double(s.p90, 0), std::to_string(bound),
-                     converged_cell(s)});
-    }
-    // This paper: ss-Byz-Clock-Sync, expected O(1).
-    {
-      w.attack = Attack::kSkew;
-      w.coin = CoinKind::kOracle;
-      auto s = run(build_clock_sync(w), 20, 8000, 4000 + n);
-      table.add_row({"ss-Byz-Clock-Sync", "O(1) expected", "f < n/3",
-                     std::to_string(n), std::to_string(f), stat_cell(s),
-                     fmt_double(s.p90, 0), "-", converged_cell(s)});
-    }
-  }
-
-  table.print(std::cout);
-  std::cout << "\nsemi-synchronous rows of Table 1 ([10] row 2, [5,6]): "
-               "not applicable (bounded-delay model; see DESIGN.md)\n";
-
-  // Full-stack spot check: the paper's algorithm on the message-level FM
-  // coin (n = 4 and 7), to show the O(1) shape is not an oracle artifact.
-  std::cout << "\n--- ss-Byz-Clock-Sync on the full GVSS coin ---\n";
-  AsciiTable fm_table({"n", "f", "adversary", "mean beats", "p90", "converged"});
-  for (const auto [n, f] : {NF{4, 1}, NF{7, 2}}) {
-    World w;
-    w.n = n;
-    w.f = f;
-    w.actual = f;
-    w.k = 64;
-    w.coin = CoinKind::kFm;
-    w.attack = Attack::kSkew;
-    auto s = run(build_clock_sync(w), 10, 8000, 5000 + n);
-    fm_table.add_row({std::to_string(n), std::to_string(f), "skew",
-                      fmt_double(s.mean, 1), fmt_double(s.p90, 0),
-                      converged_cell(s)});
-  }
-  fm_table.print(std::cout);
-
-  std::cout << "\nCSV follows:\n";
-  table.print_csv(std::cout);
-  return 0;
+  return ssbft::bench::bench_main("table1", argc, argv);
 }

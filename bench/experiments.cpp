@@ -1,0 +1,910 @@
+#include "experiments.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "coin/coin_interface.h"
+#include "coin/fm_coin.h"
+#include "coin/oracle_coin.h"
+#include "support/check.h"
+
+namespace ssbft::bench {
+
+// ---------------------------------------------------------------------------
+// CLI plumbing.
+
+namespace {
+
+void print_usage(const char* prog, std::ostream& os, bool wrapper_note) {
+  os << "usage: " << prog
+     << " [--trials N] [--jobs J] [--seed S]\n"
+        "       [--format ascii|csv|jsonl] [--out FILE] [--progress]\n"
+        "  --trials N    override every cell's trial count "
+        "(0 = keep per-cell defaults)\n"
+        "  --jobs J      worker threads for the sweep scheduler "
+        "(default/0: one per hardware thread; 1 = serial; "
+        "clamped to 4x hardware threads)\n"
+        "  --seed S      offset added to every cell's base seed "
+        "(fresh independent replication; 0 = defaults)\n"
+        "  --format F    ascii (default, the classic tables), csv "
+        "(RFC-4180 rows), or jsonl (one object per row)\n"
+        "  --out FILE    write the report to FILE instead of stdout\n"
+        "  --progress    stderr progress line (cells done / total)\n"
+        "results are bit-identical across --jobs values.\n";
+  if (wrapper_note) {
+    os << "this binary is a thin wrapper over the `ssbft_bench` driver: "
+          "`ssbft_bench list` names every experiment and scenario, "
+          "`ssbft_bench run <name|glob>` runs any of them.\n";
+  }
+}
+
+}  // namespace
+
+BenchOptions parse_cli(const char* prog, int argc, char** argv, int first,
+                       bool wrapper_note) {
+  BenchOptions o;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(prog, std::cout, wrapper_note);
+      std::exit(0);
+    }
+    const auto take_raw = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << prog << ": " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    const auto take_value = [&](std::uint64_t& slot) {
+      const char* text = take_raw();
+      // Strict digits-only: strtoull alone would skip leading whitespace
+      // and wrap negatives like " -3" to ~2^64.
+      bool digits_only = *text != '\0';
+      for (const char* p = text; *p != '\0'; ++p) {
+        if (*p < '0' || *p > '9') {
+          digits_only = false;
+          break;
+        }
+      }
+      errno = 0;
+      const unsigned long long v = std::strtoull(text, nullptr, 10);
+      if (!digits_only || errno == ERANGE) {
+        std::cerr << prog << ": " << arg
+                  << " needs a non-negative integer, got '" << text << "'\n";
+        std::exit(2);
+      }
+      slot = v;
+    };
+    if (arg == "--trials") {
+      take_value(o.trials);
+    } else if (arg == "--jobs") {
+      take_value(o.jobs);
+    } else if (arg == "--seed") {
+      take_value(o.seed);
+    } else if (arg == "--format") {
+      const std::string name = take_raw();
+      const auto fmt = parse_report_format(name);
+      if (!fmt) {
+        std::cerr << prog << ": unknown --format '" << name
+                  << "' (ascii, csv or jsonl)\n";
+        std::exit(2);
+      }
+      o.format = *fmt;
+    } else if (arg == "--out") {
+      o.out = take_raw();
+    } else if (arg == "--progress") {
+      o.progress = true;
+    } else {
+      std::cerr << prog << ": unknown option '" << arg
+                << "' (try --help)\n";
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+std::uint64_t trials_or(const BenchOptions& o, std::uint64_t def) {
+  return o.trials == 0 ? def : o.trials;
+}
+
+std::uint64_t shifted_seed(const BenchOptions& o, std::uint64_t def) {
+  return def + o.seed;
+}
+
+RunnerConfig cell_config(const BenchOptions& o, const ScenarioSpec& spec) {
+  RunnerConfig rc = scenario_runner_config(spec);
+  rc.trials = trials_or(o, spec.trials);
+  rc.base_seed = shifted_seed(o, spec.base_seed);
+  rc.jobs = o.jobs;
+  return rc;
+}
+
+SweepCell registry_cell(const BenchOptions& o, const std::string& name) {
+  const ScenarioSpec* spec = find_scenario(name);
+  SSBFT_CHECK_MSG(spec != nullptr,
+                  "experiment references unregistered scenario " << name);
+  return SweepCell{name, build_scenario(*spec), cell_config(o, *spec)};
+}
+
+std::string stat_cell(const TrialStats& s) {
+  if (s.converged == 0) return "none converged";
+  return fmt_double(s.mean, 1) + " (p90 " + fmt_double(s.p90, 0) + ")";
+}
+
+// "converged/trials" cell, reflecting any --trials override.
+std::string converged_cell(const TrialStats& s) {
+  return std::to_string(s.converged) + "/" + std::to_string(s.trials);
+}
+
+namespace {
+
+SweepOptions sweep_options(const BenchOptions& o) {
+  SweepOptions so;
+  so.jobs = o.jobs;
+  so.progress = o.progress;
+  return so;
+}
+
+// Registered spec backing a sweep cell. Experiments only build cells from
+// registry names, so absence is a programming error, not user input.
+const ScenarioSpec& spec_of(const SweepCell& cell) {
+  const ScenarioSpec* spec = find_scenario(cell.name);
+  SSBFT_CHECK_MSG(spec != nullptr, "cell " << cell.name << " not registered");
+  return *spec;
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 reproduction — the paper's evaluation artifact.
+//
+// Paper's claim (synchronous-model rows):
+//   [10]  probabilistic  O(2^(2(n-f)))  f < n/3
+//   [15]  deterministic  O(f)           f < n/4
+//   [7]   deterministic  O(f)           f < n/3
+//   this  probabilistic  O(1)           f < n/3
+//
+// We measure expected convergence beats empirically across an (n, f) sweep
+// for all four families (k = 64, skew/split adversaries, genesis-random
+// state) and print the measured growth next to the theoretical class. The
+// semi-synchronous rows of Table 1 are a different model and out of scope
+// (DESIGN.md substitution 2).
+
+void run_table1(const BenchOptions& o, Report& r) {
+  r.text("=== Table 1 (PODC'08): measured convergence, synchronous "
+         "model, k = 64 ===\n\n");
+
+  const std::uint32_t ns[] = {4, 7, 10, 13};
+  const std::uint32_t fm_ns[] = {4, 7};
+  std::vector<SweepCell> cells;
+  for (std::uint32_t n : ns) {
+    for (const char* fam : {"dw", "queen", "king", "sync"}) {
+      cells.push_back(
+          registry_cell(o, "table1/" + std::string(fam) + "/n" +
+                               std::to_string(n)));
+    }
+  }
+  for (std::uint32_t n : fm_ns) {
+    cells.push_back(registry_cell(o, "table1/sync-fm/n" + std::to_string(n)));
+  }
+  const std::vector<TrialStats> stats = run_sweep(cells, sweep_options(o));
+
+  // "det. bound" = the deterministic worst-case convergence guarantee
+  // (pipeline depth + 2 for the BA clocks — grows linearly in f, the O(f)
+  // column of Table 1; "-" for the randomized algorithms). Measured means
+  // sit far below it because random garbage tends to collapse onto the
+  // protocols' default values; the bound is what an adversarial initial
+  // state can force.
+  AsciiTable table({"algorithm", "paper bound", "resiliency", "n", "f",
+                    "mean beats", "p90", "det. bound", "converged"});
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::uint32_t n = ns[i];
+    const ScenarioSpec& dw_spec = spec_of(cells[i * 4]);
+    const ScenarioSpec& queen_spec = spec_of(cells[i * 4 + 1]);
+    const ScenarioSpec& king_spec = spec_of(cells[i * 4 + 2]);
+    {
+      // [10] Dolev-Welch-style randomized: exponential. Budget-capped; the
+      // larger sizes are expected to blow through the cap — that *is* the
+      // result. (Split attack on its single clock channel.)
+      const TrialStats& s = stats[i * 4];
+      const std::uint64_t cap = dw_spec.max_beats;
+      table.add_row({"Dolev-Welch [10]", "O(2^(2(n-f)))", "f < n/3",
+                     std::to_string(n), std::to_string(dw_spec.world.f),
+                     s.converged ? fmt_double(s.mean, 0)
+                                 : ">" + std::to_string(cap),
+                     s.converged ? fmt_double(s.p90, 0) : "-", "-",
+                     converged_cell(s)});
+    }
+    {
+      // [15] pipelined phase-queen: deterministic O(f), needs f < n/4 —
+      // run at its own legal configuration (same n, f' = floor((n-1)/4)).
+      const TrialStats& s = stats[i * 4 + 1];
+      const std::uint32_t fq = queen_spec.world.f;
+      const int bound = 2 + 2 * (static_cast<int>(fq) + 1) + 2 + 2;
+      table.add_row({"pipelined queen [15]", "O(f)", "f < n/4",
+                     std::to_string(n), std::to_string(fq), stat_cell(s),
+                     fmt_double(s.p90, 0), std::to_string(bound),
+                     converged_cell(s)});
+    }
+    {
+      // [7] pipelined TC+phase-king: deterministic O(f), f < n/3.
+      const TrialStats& s = stats[i * 4 + 2];
+      const std::uint32_t fk = king_spec.world.f;
+      const int bound = 2 + 3 * (static_cast<int>(fk) + 1) + 2 + 2;
+      table.add_row({"pipelined king [7]", "O(f)", "f < n/3",
+                     std::to_string(n), std::to_string(fk), stat_cell(s),
+                     fmt_double(s.p90, 0), std::to_string(bound),
+                     converged_cell(s)});
+    }
+    {
+      // This paper: ss-Byz-Clock-Sync, expected O(1).
+      const TrialStats& s = stats[i * 4 + 3];
+      table.add_row({"ss-Byz-Clock-Sync", "O(1) expected", "f < n/3",
+                     std::to_string(n), std::to_string(dw_spec.world.f),
+                     stat_cell(s), fmt_double(s.p90, 0), "-",
+                     converged_cell(s)});
+    }
+  }
+
+  r.table("main", table);
+  r.text("\nsemi-synchronous rows of Table 1 ([10] row 2, [5,6]): "
+         "not applicable (bounded-delay model; see DESIGN.md)\n");
+
+  // Full-stack spot check: the paper's algorithm on the message-level FM
+  // coin (n = 4 and 7), to show the O(1) shape is not an oracle artifact.
+  r.text("\n--- ss-Byz-Clock-Sync on the full GVSS coin ---\n");
+  AsciiTable fm_table(
+      {"n", "f", "adversary", "mean beats", "p90", "converged"});
+  for (std::size_t j = 0; j < 2; ++j) {
+    const ScenarioSpec& spec = spec_of(cells[16 + j]);
+    const TrialStats& s = stats[16 + j];
+    fm_table.add_row({std::to_string(spec.world.n),
+                      std::to_string(spec.world.f), "skew",
+                      fmt_double(s.mean, 1), fmt_double(s.p90, 0),
+                      converged_cell(s)});
+  }
+  r.table("fm", fm_table);
+  r.csv_trailer(table);
+}
+
+// ---------------------------------------------------------------------------
+// Resiliency-boundary experiment (Table 1's resiliency column): the
+// f < n/4 vs f < n/3 divide. For each family we hold n = 13 and sweep the
+// *actual* number of Byzantine nodes across the theoretical boundaries,
+// keeping each protocol's assumed bound at its legal maximum.
+
+void run_resiliency(const BenchOptions& o, Report& r) {
+  const std::uint32_t n = 13;
+  {
+    std::ostringstream os;
+    os << "=== Resiliency boundaries at n = " << n << " (skew adversary, "
+       << trials_or(o, 10) << " trials/cell) ===\n"
+       << "floor((n-1)/4) = 3, floor((n-1)/3) = 4, n/3 ceil = 5\n\n";
+    r.text(os.str());
+  }
+
+  const std::uint32_t actuals[] = {0, 2, 3, 4, 5};
+  std::vector<SweepCell> cells;
+  for (std::uint32_t a : actuals) {
+    for (const char* fam : {"queen", "king", "sync"}) {
+      cells.push_back(registry_cell(o, "resiliency/" + std::string(fam) +
+                                           "/a" + std::to_string(a)));
+    }
+  }
+  const std::vector<TrialStats> stats = run_sweep(cells, sweep_options(o));
+
+  AsciiTable t({"actual faulty", "queen [15] (f<n/4)", "king [7] (f<n/3)",
+                "ss-Byz-Clock-Sync (f<n/3)"});
+  for (std::size_t i = 0; i < std::size(actuals); ++i) {
+    t.add_row({std::to_string(actuals[i]),
+               fmt_double(stats[i * 3].convergence_rate(), 2),
+               fmt_double(stats[i * 3 + 1].convergence_rate(), 2),
+               fmt_double(stats[i * 3 + 2].convergence_rate(), 2)});
+  }
+
+  r.table("main", t);
+  r.text("\nexpected shape: all columns 1.00 up to their bound; the "
+         "queen column may degrade beyond f = 3; every column "
+         "collapses at f = 5 > n/3 (no protocol can survive — the "
+         "f < n/3 bound is optimal, which is the paper's resiliency "
+         "claim).\n");
+  r.csv_trailer(t);
+}
+
+// ---------------------------------------------------------------------------
+// k-scaling experiment (Section 5): ss-Byz-Clock-Sync's constant overhead
+// vs the cascade construction's growth with k.
+
+void run_kclock_scaling(const BenchOptions& o, Report& r) {
+  r.text("=== k-Clock scaling: Figure-4 algorithm vs Section-5 "
+         "cascade (n = 4, f = 1, noise adversary) ===\n\n");
+
+  std::vector<SweepCell> cells;
+  std::vector<ClockValue> ks;
+  for (std::uint32_t levels = 2; levels <= 8; levels += 2) {
+    const ClockValue k = ClockValue{1} << levels;
+    ks.push_back(k);
+    cells.push_back(registry_cell(o, "kclock/sync/k" + std::to_string(k)));
+    cells.push_back(registry_cell(o, "kclock/cascade/k" + std::to_string(k)));
+  }
+  const std::vector<TrialStats> stats = run_sweep(cells, sweep_options(o));
+
+  AsciiTable t({"k", "algorithm", "mean beats", "p90", "converged",
+                "msgs/beat"});
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    const TrialStats& sync_stats = stats[i * 2];
+    const TrialStats& casc_stats = stats[i * 2 + 1];
+    t.add_row({std::to_string(ks[i]), "ss-Byz-Clock-Sync",
+               fmt_double(sync_stats.mean, 1), fmt_double(sync_stats.p90, 0),
+               converged_cell(sync_stats),
+               fmt_double(sync_stats.mean_msgs_per_beat, 1)});
+    t.add_row({std::to_string(ks[i]), "cascade (Sec. 5)",
+               casc_stats.converged ? fmt_double(casc_stats.mean, 1)
+                                    : "none converged",
+               fmt_double(casc_stats.p90, 0), converged_cell(casc_stats),
+               fmt_double(casc_stats.mean_msgs_per_beat, 1)});
+  }
+  r.table("main", t);
+  r.text("\nexpected shape: ss-Byz-Clock-Sync roughly flat in k; "
+         "cascade convergence grows with k (level i steps once per "
+         "2^i beats) and its traffic grows ~ log k.\n");
+  r.csv_trailer(t);
+}
+
+// ---------------------------------------------------------------------------
+// Coin-leverage experiment (Section 6.1): how much of the paper's result
+// is "the coin"? Four rungs of the ladder under the same adversaries and
+// (n, f) grid, plus the adaptive quorum splitter against the retrofit and
+// the full algorithm.
+
+std::string leverage_cell(const TrialStats& s, std::uint64_t cap) {
+  if (s.converged == 0) return ">" + std::to_string(cap);
+  std::string out = fmt_double(s.mean, 1);
+  if (s.converged < s.trials) {
+    out += " (" + std::to_string(s.trials - s.converged) + " censored)";
+  }
+  return out;
+}
+
+void run_coin_leverage(const BenchOptions& o, Report& r) {
+  r.text("=== Coin leverage (Section 6.1): the same gamble, three "
+         "coins (k = 8, split adversary) ===\n\n");
+
+  const std::uint32_t ns[] = {4, 7, 10};
+  const std::uint32_t adaptive_ns[] = {4, 7};
+  std::vector<SweepCell> cells;
+  for (std::uint32_t n : ns) {
+    for (const char* fam : {"dw-local", "dw-shared", "dw-shared-fm", "sync"}) {
+      cells.push_back(registry_cell(o, "leverage/" + std::string(fam) +
+                                           "/n" + std::to_string(n)));
+    }
+  }
+  for (std::uint32_t n : adaptive_ns) {
+    cells.push_back(
+        registry_cell(o, "leverage/adaptive/dw-shared/n" + std::to_string(n)));
+    cells.push_back(
+        registry_cell(o, "leverage/adaptive/sync/n" + std::to_string(n)));
+  }
+  const std::vector<TrialStats> stats = run_sweep(cells, sweep_options(o));
+
+  AsciiTable t({"n", "f", "DW local coins", "DW + shared coin",
+                "DW + shared FM coin", "ss-Byz-Clock-Sync"});
+  // The ">cap" censoring label must track each cell's actual beat budget.
+  const auto capped = [&](std::size_t idx) {
+    return leverage_cell(stats[idx], spec_of(cells[idx]).max_beats);
+  };
+  for (std::size_t i = 0; i < std::size(ns); ++i) {
+    const ScenarioSpec& spec = spec_of(cells[i * 4]);
+    t.add_row({std::to_string(ns[i]), std::to_string(spec.world.f),
+               capped(i * 4), capped(i * 4 + 1), capped(i * 4 + 2),
+               capped(i * 4 + 3)});
+  }
+  r.table("coins", t);
+  r.text("\nexpected shape: column 1 explodes with n-f; columns 2-4 "
+         "stay constant — the coin is where the exponential/constant "
+         "divide lives.\n");
+
+  r.text("\n=== Adaptive quorum splitter (strongest clock-channel "
+         "attack) ===\n\n");
+  AsciiTable t2({"n", "f", "DW + shared coin", "ss-Byz-Clock-Sync"});
+  for (std::size_t j = 0; j < std::size(adaptive_ns); ++j) {
+    const std::size_t base = std::size(ns) * 4 + j * 2;
+    const ScenarioSpec& spec = spec_of(cells[base]);
+    const TrialStats& dw = stats[base];
+    const TrialStats& sync = stats[base + 1];
+    t2.add_row({std::to_string(adaptive_ns[j]), std::to_string(spec.world.f),
+                capped(base) + " [" + converged_cell(dw) + "]",
+                capped(base + 1) + " [" + converged_cell(sync) + "]"});
+  }
+  r.table("adaptive", t2);
+  r.text("\nthe splitter sustains a partition whenever a value's "
+         "correct support lands in [n-2f, n-f); the paper's algorithm "
+         "re-merges the groups through the phase-3 common gamble.\n");
+  r.csv_trailer(t);
+}
+
+// ---------------------------------------------------------------------------
+// Remark 4.1 ablation: ss-Byz-4-Clock (and the full k-clock stack) with
+// one coin-flipping pipeline per 2-clock vs a single shared pipeline.
+
+void run_ablation_pipeline(const BenchOptions& o, Report& r) {
+  r.text("=== Remark 4.1 ablation: per-sub-clock vs shared coin "
+         "pipeline (full FM coin, n = 4, f = 1, noise) ===\n\n");
+
+  const struct {
+    const char* scenario;
+    const char* label;
+  } rows[] = {
+      {"ablation/clock4/per-subclock", "4-clock, two pipelines (Fig. 3)"},
+      {"ablation/clock4/shared", "4-clock, shared pipeline (Rem. 4.1)"},
+      {"ablation/kclock/per-subclock", "k-clock k=32, two pipelines"},
+      {"ablation/kclock/shared", "k-clock k=32, shared pipeline"},
+  };
+  std::vector<SweepCell> cells;
+  for (const auto& row : rows) cells.push_back(registry_cell(o, row.scenario));
+  const std::vector<TrialStats> stats = run_sweep(cells, sweep_options(o));
+
+  AsciiTable t({"configuration", "mean beats", "p90", "converged",
+                "msgs/beat"});
+  for (std::size_t i = 0; i < std::size(rows); ++i) {
+    const TrialStats& s = stats[i];
+    t.add_row({rows[i].label, fmt_double(s.mean, 1), fmt_double(s.p90, 0),
+               converged_cell(s), fmt_double(s.mean_msgs_per_beat, 1)});
+  }
+  r.table("main", t);
+  r.text("\nexpected shape: shared pipeline cuts messages/beat by a "
+         "constant factor with comparable expected convergence.\n");
+  r.csv_trailer(t);
+}
+
+// ---------------------------------------------------------------------------
+// Convergence-tail experiment (Theorem 2's closing remark): the
+// probability of NOT having converged by beat b decays geometrically.
+
+void tail_series(Report& r, const std::string& id, const std::string& name,
+                 TrialStats stats) {
+  {
+    std::ostringstream os;
+    os << "--- " << name << ": " << converged_cell(stats) << " converged, mean "
+       << fmt_double(stats.mean, 2) << ", p90 " << fmt_double(stats.p90, 1)
+       << ", max " << stats.max << " ---\n";
+    r.text(os.str());
+  }
+  std::sort(stats.samples.begin(), stats.samples.end());
+  AsciiTable t({"beat b", "P[not converged by b]"});
+  for (std::uint64_t b = 0; b <= stats.max + 2;
+       b += std::max<std::uint64_t>(1, (stats.max + 2) / 12)) {
+    const auto below = static_cast<std::uint64_t>(
+        std::upper_bound(stats.samples.begin(), stats.samples.end(), b) -
+        stats.samples.begin());
+    const double surv =
+        1.0 - static_cast<double>(below) / static_cast<double>(stats.trials);
+    t.add_row({std::to_string(b), fmt_double(surv, 3)});
+  }
+  r.table(id, t);
+  // Geometric-decay readout: fit P[T > b] ~ exp(-b/tau) via the mean.
+  if (stats.converged == stats.trials && stats.mean > 0) {
+    r.text("implied per-beat success rate ~ " +
+           fmt_double(1.0 / (stats.mean + 1), 3) + "\n");
+  }
+  r.text("\n");
+}
+
+void run_convergence_tail(const BenchOptions& o, Report& r) {
+  r.text("=== Convergence-tail experiment (Theorem 2 remark: "
+         "geometric decay) ===\n\n");
+
+  const struct {
+    const char* scenario;
+    const char* id;
+    const char* label;
+  } series[] = {
+      {"tail/clock2/n4", "clock2-n4", "ss-Byz-2-Clock n=4 f=1 (split attack)"},
+      {"tail/clock2/n13", "clock2-n13",
+       "ss-Byz-2-Clock n=13 f=4 (split attack)"},
+      {"tail/sync/n7", "sync-n7",
+       "ss-Byz-Clock-Sync n=7 f=2 k=64 (skew attack)"},
+  };
+  std::vector<SweepCell> cells;
+  for (const auto& s : series) cells.push_back(registry_cell(o, s.scenario));
+  std::vector<TrialStats> stats = run_sweep(cells, sweep_options(o));
+  for (std::size_t i = 0; i < std::size(series); ++i) {
+    tail_series(r, series[i].id, series[i].label, std::move(stats[i]));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Coin-quality experiment (Figure 1 / Definitions 2.6-2.8 / Theorem 1):
+// commonality, the p0/p1 split, and cold-start stabilization of the
+// ss-Byz-Coin-Flip pipeline over the FM-style GVSS coin, per adversary.
+// Fixed single-engine bit streams — not a trial sweep.
+
+// Host protocol recording the per-beat bit stream (bench-local copy of the
+// test helper, kept here so the experiment layer is self-contained).
+class CoinHost final : public Protocol {
+ public:
+  CoinHost(const ProtocolEnv& env, const CoinSpec& spec, Rng rng)
+      : channels_(spec.channels == 0 ? 1 : spec.channels),
+        coin_(spec.make(env, 0, rng)) {}
+  void send_phase(Outbox& out) override { coin_->send_phase(out); }
+  void receive_phase(const Inbox& in) override {
+    bits_.push_back(coin_->receive_phase(in));
+  }
+  void randomize_state(Rng& rng) override { coin_->randomize_state(rng); }
+  std::uint32_t channel_count() const override { return channels_; }
+  const std::vector<bool>& bits() const { return bits_; }
+
+ private:
+  std::uint32_t channels_;
+  std::unique_ptr<CoinComponent> coin_;
+  std::vector<bool> bits_;
+};
+
+struct CoinStats {
+  double common = 0, p0 = 0, p1 = 0;
+  std::uint64_t first_common = 0;
+};
+
+CoinStats measure_coin(std::uint32_t n, std::uint32_t f, bool oracle,
+                       Attack attack, std::uint64_t beats,
+                       std::uint64_t seed) {
+  EngineConfig cfg;
+  cfg.n = n;
+  cfg.f = f;
+  cfg.faulty = EngineConfig::last_ids_faulty(n, f);
+  cfg.seed = seed;
+  std::shared_ptr<OracleBeacon> beacon;
+  CoinSpec spec;
+  if (oracle) {
+    beacon = std::make_shared<OracleBeacon>(n, OracleCoinParams{0.45, 0.45},
+                                            Rng(seed).split("beacon"));
+    spec = oracle_coin_spec(beacon);
+  } else {
+    spec = fm_coin_spec();
+  }
+  auto factory = [&spec](const ProtocolEnv& env, Rng rng) {
+    return std::make_unique<CoinHost>(env, spec, rng);
+  };
+  Engine eng(cfg, factory, f == 0 ? nullptr : make_attack(attack, 2, 0));
+  if (beacon) eng.add_listener(beacon.get());
+  eng.run_beats(beats);
+
+  std::vector<const CoinHost*> hosts;
+  for (NodeId id : eng.correct_ids()) {
+    hosts.push_back(dynamic_cast<const CoinHost*>(&eng.node(id)));
+  }
+  CoinStats out;
+  bool found_first = false;
+  std::uint64_t common = 0, zeros = 0, ones = 0, counted = 0;
+  const std::size_t warmup = FmCoinInstance::kRounds;
+  for (std::size_t i = 0; i < beats; ++i) {
+    bool all_same = true;
+    for (const auto* h : hosts) {
+      if (h->bits()[i] != hosts[0]->bits()[i]) all_same = false;
+    }
+    if (all_same && !found_first) {
+      found_first = true;
+      out.first_common = i;
+    }
+    if (i < warmup) continue;
+    ++counted;
+    if (all_same) {
+      ++common;
+      (hosts[0]->bits()[i] ? ones : zeros)++;
+    }
+  }
+  out.common = static_cast<double>(common) / static_cast<double>(counted);
+  out.p0 = static_cast<double>(zeros) / static_cast<double>(counted);
+  out.p1 = static_cast<double>(ones) / static_cast<double>(counted);
+  return out;
+}
+
+void run_coin_quality(const BenchOptions& o, Report& r) {
+  if (o.trials != 0 || o.jobs != 0) {
+    std::cerr << "note: this bench measures fixed single-engine bit streams; "
+                 "--trials/--jobs have no effect here (--seed applies)\n";
+  }
+  r.text("=== Coin quality: ss-Byz-Coin-Flip over the FM-style GVSS "
+         "coin (Theorem 1) ===\n"
+         "columns: commonality = measured p0+p1 (+accidental), split "
+         "p0/p1, first common bit (Lemma 1: <= Delta_A = 4 after "
+         "corrupted genesis)\n\n");
+
+  AsciiTable t({"coin", "n", "f", "adversary", "common", "p0", "p1",
+                "first common beat"});
+  struct Row {
+    bool oracle;
+    std::uint32_t n, f;
+    Attack attack;
+    const char* name;
+  };
+  const Row rows[] = {
+      {false, 4, 0, Attack::kSilent, "(none)"},
+      {false, 4, 1, Attack::kSilent, "silent"},
+      {false, 4, 1, Attack::kNoise, "noise"},
+      {false, 4, 1, Attack::kCoinAttack, "gvss-attacker"},
+      {false, 7, 2, Attack::kSilent, "silent"},
+      {false, 7, 2, Attack::kNoise, "noise"},
+      {false, 7, 2, Attack::kCoinAttack, "gvss-attacker"},
+      {false, 10, 3, Attack::kCoinAttack, "gvss-attacker"},
+      {true, 7, 2, Attack::kSilent, "silent (oracle ref)"},
+  };
+  for (const auto& row : rows) {
+    const std::uint64_t beats = row.n >= 10 ? 300 : 800;
+    auto s = measure_coin(row.n, row.f, row.oracle, row.attack, beats,
+                          shifted_seed(o, 42) + row.n);
+    t.add_row({row.oracle ? "oracle(0.45/0.45)" : "fm-gvss",
+               std::to_string(row.n), std::to_string(row.f), row.name,
+               fmt_double(s.common, 3), fmt_double(s.p0, 3),
+               fmt_double(s.p1, 3), std::to_string(s.first_common)});
+  }
+  r.table("main", t);
+  r.csv_trailer(t);
+}
+
+// ---------------------------------------------------------------------------
+// Message-complexity experiment: correct-node traffic per beat vs n for
+// every algorithm family, measured after convergence so the steady state
+// is compared. Single-engine probes — not a trial sweep.
+
+struct Traffic {
+  double msgs = 0, bytes = 0;
+};
+
+// Mean traffic over the second half of the run (the first half is warmup).
+Traffic second_half_mean(const Engine& eng) {
+  const auto& hist = eng.metrics().history();
+  Traffic t;
+  std::uint64_t counted = 0;
+  for (std::size_t i = hist.size() / 2; i < hist.size(); ++i) {
+    t.msgs += static_cast<double>(hist[i].correct_messages);
+    t.bytes += static_cast<double>(hist[i].correct_bytes);
+    ++counted;
+  }
+  t.msgs /= static_cast<double>(counted);
+  t.bytes /= static_cast<double>(counted);
+  return t;
+}
+
+// Channel labels for the full FM stack rooted at 0, derived from the same
+// layout arithmetic the stack itself uses (SsByzClockSync: three own
+// channels, then SsByz4Clock in per-sub-clock mode — each 2-clock owns one
+// clock channel + a coin pipeline — then the phase-3 coin), so the table
+// tracks any change to the composition.
+std::string fm_channel_label(ChannelId ch) {
+  static const char* kRound[] = {"deal", "cross", "votes", "shares"};
+  const std::uint32_t coin_chs = FmCoinInstance::kRounds;
+  const auto coin_round = [&](const char* host, std::uint32_t rd) {
+    std::string label = std::string("coin[") + host + "] ";
+    if (rd < 4) {
+      label += kRound[rd];
+    } else {
+      label += "r" + std::to_string(rd + 1);
+    }
+    return label;
+  };
+  if (ch < 3) {
+    return std::string("clock-sync ") +
+           (ch == 0 ? "full" : ch == 1 ? "prop" : "bit");
+  }
+  std::uint32_t off = ch - 3;  // into SsByz4Clock's per-sub-clock block
+  const std::uint32_t sub = 1 + coin_chs;  // one SsByz2Clock's channels
+  if (off < sub) {
+    return off == 0 ? "2clk[a1] tri" : coin_round("a1", off - 1);
+  }
+  off -= sub;
+  if (off < sub) {
+    return off == 0 ? "2clk[a2] tri" : coin_round("a2", off - 1);
+  }
+  off -= sub;
+  if (off < coin_chs) return coin_round("p3", off);
+  return "ch " + std::to_string(ch);
+}
+
+// Steady-state per-round (= per-channel) byte breakdown from an engine
+// whose second-half window was measured with channel tracking on.
+AsciiTable fm_round_breakdown(const Engine& eng) {
+  const auto& per_ch = eng.channel_bytes();
+  const double window = static_cast<double>(eng.channel_bytes_beats());
+  double total = 0;
+  for (std::uint64_t b : per_ch) total += static_cast<double>(b);
+  AsciiTable rt({"round (channel)", "bytes/beat", "share"});
+  for (std::size_t ch = 0; ch < per_ch.size(); ++ch) {
+    const double per_beat = static_cast<double>(per_ch[ch]) / window;
+    rt.add_row({fm_channel_label(static_cast<ChannelId>(ch)) + " (" +
+                    std::to_string(ch) + ")",
+                fmt_double(per_beat, 1),
+                fmt_double(100.0 * static_cast<double>(per_ch[ch]) / total,
+                           1) +
+                    "%"});
+  }
+  return rt;
+}
+
+void run_message_complexity(const BenchOptions& o, Report& r) {
+  if (o.trials != 0 || o.jobs != 0) {
+    std::cerr << "note: this bench measures one steady-state engine per row; "
+                 "--trials/--jobs have no effect here (--seed applies)\n";
+  }
+  r.text("=== Steady-state traffic per beat (all correct nodes, "
+         "k = 16, silent adversary) ===\n\n");
+  AsciiTable t({"algorithm", "n", "f", "msgs/beat", "KiB/beat",
+                "msgs/beat/node"});
+  struct Breakdown {
+    std::uint32_t n, f;
+    AsciiTable table;
+  };
+  std::vector<Breakdown> breakdowns;
+  const auto steady_state = [&](const EngineBuilder& builder,
+                                std::uint64_t beats) {
+    auto bundle = builder(shifted_seed(o, 123));
+    bundle.engine->run_beats(beats);
+    return second_half_mean(*bundle.engine);
+  };
+  struct NF {
+    std::uint32_t n, f;
+  };
+  for (const auto [n, f] : {NF{4, 1}, NF{7, 2}, NF{10, 3}, NF{13, 4}}) {
+    World w;
+    w.n = n;
+    w.f = f;
+    w.actual = f;
+    w.k = 16;
+    w.attack = Attack::kSilent;
+
+    auto add_traffic = [&](const std::string& name, const Traffic& tr) {
+      t.add_row({name, std::to_string(n), std::to_string(f),
+                 fmt_double(tr.msgs, 0), fmt_double(tr.bytes / 1024.0, 1),
+                 fmt_double(tr.msgs / (n - f), 1)});
+    };
+    auto add = [&](const std::string& name, const EngineBuilder& b,
+                   std::uint64_t beats) {
+      add_traffic(name, steady_state(b, beats));
+    };
+
+    add("Dolev-Welch [10]", build_dolev_welch(w), 400);
+    {
+      World wq = w;
+      wq.f = (n - 1) / 4;
+      wq.actual = wq.f;
+      add("pipelined queen [15]", build_pipelined(wq, false), 200);
+    }
+    add("pipelined king [7]", build_pipelined(w, true), 200);
+    add("ss-Byz-Clock-Sync (oracle)", build_clock_sync(w), 300);
+    {
+      // One tracked run feeds both the table row and the per-round
+      // breakdown (channel tracking changes nothing but wall-clock).
+      World wf = w;
+      wf.coin = CoinKind::kFm;
+      wf.track_channel_bytes = true;
+      const std::uint64_t beats = n >= 10 ? 60 : 150;
+      auto bundle = build_clock_sync(wf)(shifted_seed(o, 123));
+      bundle.engine->run_beats(beats / 2);
+      bundle.engine->reset_channel_bytes();
+      bundle.engine->run_beats(beats - beats / 2);
+      add_traffic("ss-Byz-Clock-Sync (FM coin)",
+                  second_half_mean(*bundle.engine));
+      breakdowns.push_back({n, f, fm_round_breakdown(*bundle.engine)});
+    }
+  }
+  r.table("main", t);
+  r.text("\n=== FM-coin stack, steady-state per-round byte breakdown "
+         "===\n\n");
+  for (const auto& b : breakdowns) {
+    r.text("per-round bytes/beat, ss-Byz-Clock-Sync (FM coin), n = " +
+           std::to_string(b.n) + ", f = " + std::to_string(b.f) + ":\n");
+    r.table("fm-breakdown-n" + std::to_string(b.n), b.table);
+    r.text("\n");
+  }
+  // Historical trailer shape: no blank line before "CSV follows:" here.
+  if (r.format() == ReportFormat::kAscii) {
+    r.text("CSV follows:\n");
+    t.print_csv(r.out());
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Registry + entry points.
+
+const std::vector<Experiment>& experiments() {
+  static const std::vector<Experiment> kExperiments = {
+      {"table1", "Table 1 (PODC'08): measured convergence for all four "
+                 "algorithm families across (n, f)",
+       run_table1},
+      {"resiliency", "resiliency boundaries at n = 13: f < n/4 vs f < n/3 "
+                     "vs the impossible f > n/3",
+       run_resiliency},
+      {"kclock_scaling", "ss-Byz-Clock-Sync's constant overhead vs the "
+                         "Section-5 cascade as k grows",
+       run_kclock_scaling},
+      {"coin_leverage", "Section 6.1: the DW gamble on local vs shared vs "
+                        "FM coins, plus the adaptive splitter",
+       run_coin_leverage},
+      {"ablation_pipeline", "Remark 4.1: per-sub-clock vs shared coin "
+                            "pipeline (traffic and convergence)",
+       run_ablation_pipeline},
+      {"convergence_tail", "Theorem 2 remark: geometric decay of "
+                           "P[not converged by beat b]",
+       run_convergence_tail},
+      {"coin_quality", "Theorem 1: commonality / p0 / p1 / stabilization "
+                       "of the GVSS coin bit streams",
+       run_coin_quality},
+      {"message_complexity", "steady-state traffic per beat vs n, with the "
+                             "FM stack's per-round byte breakdown",
+       run_message_complexity},
+  };
+  return kExperiments;
+}
+
+const Experiment* find_experiment(const std::string& name) {
+  for (const Experiment& e : experiments()) {
+    if (name == e.name) return &e;
+  }
+  return nullptr;
+}
+
+std::ostream* open_report_out(const BenchOptions& o, std::ofstream& file,
+                              const char* prog) {
+  if (o.out.empty()) return &std::cout;
+  file.open(o.out);
+  if (!file) {
+    std::cerr << prog << ": cannot open --out file '" << o.out << "'\n";
+    return nullptr;
+  }
+  return &file;
+}
+
+int bench_main(const std::string& experiment, int argc, char** argv) {
+  const Experiment* e = find_experiment(experiment);
+  SSBFT_CHECK_MSG(e != nullptr, "unregistered experiment " << experiment);
+  const BenchOptions o = parse_cli(argv[0], argc, argv);
+  std::ofstream file;
+  std::ostream* os = open_report_out(o, file, argv[0]);
+  if (os == nullptr) return 2;
+  Report report(RunMeta{experiment, o.trials, o.seed, o.jobs}, o.format, *os);
+  e->run(o, report);
+  return 0;
+}
+
+void run_scenario_cells(const std::string& pattern,
+                        const std::vector<const ScenarioSpec*>& matched,
+                        const BenchOptions& o, Report& report) {
+  SSBFT_REQUIRE(!matched.empty());
+  std::vector<SweepCell> cells;
+  cells.reserve(matched.size());
+  for (const ScenarioSpec* spec : matched) {
+    cells.push_back(SweepCell{spec->name, build_scenario(*spec),
+                              cell_config(o, *spec)});
+  }
+  {
+    std::ostringstream os;
+    os << "=== sweep: " << pattern << " (" << cells.size()
+       << (cells.size() == 1 ? " cell" : " cells") << ") ===\n\n";
+    report.text(os.str());
+  }
+  const std::vector<TrialStats> stats = run_sweep(cells, sweep_options(o));
+
+  AsciiTable t({"scenario", "family", "n", "f", "adversary", "converged",
+                "mean beats", "median", "p90", "max", "msgs/beat"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const ScenarioSpec& spec = *matched[i];
+    const TrialStats& s = stats[i];
+    t.add_row({spec.name, family_name(spec.family),
+               std::to_string(spec.world.n), std::to_string(spec.world.f),
+               spec.world.actual == 0 ? "-" : attack_name(spec.world.attack),
+               converged_cell(s),
+               s.converged ? fmt_double(s.mean, 1) : "-",
+               s.converged ? fmt_double(s.median, 1) : "-",
+               s.converged ? fmt_double(s.p90, 0) : "-",
+               s.converged ? std::to_string(s.max) : "-",
+               fmt_double(s.mean_msgs_per_beat, 1)});
+  }
+  report.table("cells", t);
+}
+
+}  // namespace ssbft::bench

@@ -1,0 +1,86 @@
+// The experiment registry behind every bench binary. Each of the eight
+// historical bench mains is one registered experiment; the `ssbft_bench`
+// driver runs any of them (or any registry scenario cell, by glob) and the
+// per-experiment binaries are thin wrappers over bench_main().
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "harness/scenario.h"
+#include "harness/sweep.h"
+
+namespace ssbft::bench {
+
+// Shared CLI for the bench binaries and the driver's `run` subcommand.
+// A value of 0 means "keep the experiment's per-cell default" (for
+// --jobs, 0 means one worker per hardware thread, the default).
+struct BenchOptions {
+  std::uint64_t trials = 0;  // override every cell's trial count
+  std::uint64_t seed = 0;    // offset added to every cell's base seed
+  std::uint64_t jobs = 0;    // sweep worker threads
+  ReportFormat format = ReportFormat::kAscii;
+  std::string out;           // --out FILE (empty = stdout)
+  bool progress = false;     // stderr cells-done progress line
+};
+
+// Parses argv[first..) into a BenchOptions value; prints usage and exits
+// on --help or malformed input. No global state: the returned value flows
+// into the experiment/scenario calls explicitly. wrapper_note appends the
+// "this binary is a thin wrapper over ssbft_bench" pointer to --help —
+// the driver passes false when parsing its own `run` options.
+BenchOptions parse_cli(const char* prog, int argc, char** argv,
+                       int first = 1, bool wrapper_note = true);
+
+// --trials / --seed overrides layered on an experiment's defaults.
+std::uint64_t trials_or(const BenchOptions& o, std::uint64_t def);
+// --seed shifts, rather than replaces, each cell's base seed: the
+// per-table offsets (e.g. 2000 + n) keep rows statistically independent
+// while a nonzero S yields a fresh independent replication.
+std::uint64_t shifted_seed(const BenchOptions& o, std::uint64_t def);
+
+// RunnerConfig for a registry cell: the spec's defaults + the overrides.
+RunnerConfig cell_config(const BenchOptions& o, const ScenarioSpec& spec);
+
+// Fetches a registry cell as a SweepCell (REQUIREs the name to exist —
+// experiment grids reference only registered scenarios).
+SweepCell registry_cell(const BenchOptions& o, const std::string& name);
+
+// Statistic cells shared by the table writers.
+std::string stat_cell(const TrialStats& s);
+std::string converged_cell(const TrialStats& s);
+
+struct Experiment {
+  const char* name;
+  const char* summary;
+  void (*run)(const BenchOptions&, Report&);
+};
+
+// All experiments, in registration (display) order.
+const std::vector<Experiment>& experiments();
+const Experiment* find_experiment(const std::string& name);
+
+// Entry point for the thin per-experiment wrappers: parse CLI, open
+// --out if given, run the experiment. Returns the process exit code.
+int bench_main(const std::string& experiment, int argc, char** argv);
+
+// Resolves --out into the stream the report writes to: stdout when empty,
+// else `file` opened (and truncated) at o.out. Returns nullptr after
+// printing an error when the file cannot be opened — callers must
+// validate everything else (e.g. the run target) *before* calling, so a
+// failed run never truncates an existing results file.
+std::ostream* open_report_out(const BenchOptions& o, std::ofstream& file,
+                              const char* prog);
+
+// Driver helper: run an already-matched, non-empty set of registry
+// scenarios (see match_scenarios) as one sweep and report a generic
+// per-cell table. Taking the matched set lets the driver validate the
+// pattern *before* opening/truncating --out.
+void run_scenario_cells(const std::string& pattern,
+                        const std::vector<const ScenarioSpec*>& matched,
+                        const BenchOptions& o, Report& report);
+
+}  // namespace ssbft::bench

@@ -1,0 +1,131 @@
+// The experiment driver: one binary in front of the whole experiment
+// subsystem. `list` names every registered experiment and scenario cell;
+// `run` executes an experiment by name or any set of scenario cells by
+// glob, scheduling all (cell, trial) units through one global sweep
+// queue. The historical bench_* binaries are thin wrappers over the same
+// registry (`bench_table1` == `ssbft_bench run table1`).
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "experiments.h"
+
+using namespace ssbft;
+using namespace ssbft::bench;
+
+namespace {
+
+int usage(std::ostream& os, int code) {
+  os << "usage: ssbft_bench <command> [...]\n"
+        "  list [glob]                list experiments and registered "
+        "scenarios\n"
+        "  run <name|glob> [options]  run an experiment, or every scenario "
+        "cell matching a glob\n"
+        "run options: [--trials N] [--jobs J] [--seed S]\n"
+        "             [--format ascii|csv|jsonl] [--out FILE] [--progress]\n"
+        "  --trials N   override every cell's trial count (0 = per-cell "
+        "defaults)\n"
+        "  --jobs J     sweep worker threads (default/0: one per hardware "
+        "thread; 1 = serial; results bit-identical either way)\n"
+        "  --seed S     offset added to every cell's base seed\n"
+        "  --format F   ascii (default), csv (RFC-4180) or jsonl\n"
+        "  --out FILE   write the report to FILE instead of stdout\n"
+        "  --progress   stderr progress line (cells done / total)\n"
+        "examples:\n"
+        "  ssbft_bench list 'net/*'\n"
+        "  ssbft_bench run table1 --trials 2 --jobs 2\n"
+        "  ssbft_bench run 'gallery/*' --format jsonl\n";
+  return code;
+}
+
+int list_command(const std::string& pattern) {
+  std::size_t width = 0;
+  for (const Experiment& e : experiments()) {
+    if (glob_match(pattern, e.name)) width = std::max(width, std::string(e.name).size());
+  }
+  const auto matched = match_scenarios(pattern);
+  for (const ScenarioSpec* s : matched) {
+    width = std::max(width, s->name.size());
+  }
+
+  bool any = false;
+  bool header = false;
+  for (const Experiment& e : experiments()) {
+    if (!glob_match(pattern, e.name)) continue;
+    if (!header) {
+      std::cout << "experiments (run with `ssbft_bench run <name>`):\n";
+      header = true;
+    }
+    std::cout << "  " << e.name
+              << std::string(width - std::string(e.name).size() + 2, ' ')
+              << e.summary << "\n";
+    any = true;
+  }
+  if (!matched.empty()) {
+    if (header) std::cout << "\n";
+    std::cout << "scenarios (" << matched.size()
+              << ", run with `ssbft_bench run <name|glob>`):\n";
+    for (const ScenarioSpec* s : matched) {
+      std::cout << "  " << s->name
+                << std::string(width - s->name.size() + 2, ' ') << s->summary
+                << "\n";
+    }
+    any = true;
+  }
+  if (!any) {
+    std::cerr << "ssbft_bench: nothing matches '" << pattern << "'\n";
+    return 2;
+  }
+  return 0;
+}
+
+int run_command(const std::string& name, const BenchOptions& o) {
+  // Resolve the run target before touching --out: a typo'd name must not
+  // truncate an existing results file.
+  const Experiment* e = find_experiment(name);
+  const std::vector<const ScenarioSpec*> matched =
+      e == nullptr ? match_scenarios(name)
+                   : std::vector<const ScenarioSpec*>{};
+  if (e == nullptr && matched.empty()) {
+    std::cerr << "ssbft_bench: unknown experiment or scenario '" << name
+              << "' (try `ssbft_bench list`)\n";
+    return 2;
+  }
+  std::ofstream file;
+  std::ostream* os = open_report_out(o, file, "ssbft_bench");
+  if (os == nullptr) return 2;
+
+  Report report(RunMeta{name, o.trials, o.seed, o.jobs}, o.format, *os);
+  if (e != nullptr) {
+    e->run(o, report);
+  } else {
+    run_scenario_cells(name, matched, o, report);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(std::cerr, 2);
+  const std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    return usage(std::cout, 0);
+  }
+  if (command == "list") {
+    if (argc > 3) return usage(std::cerr, 2);
+    return list_command(argc == 3 ? argv[2] : "*");
+  }
+  if (command == "run") {
+    if (argc < 3) {
+      std::cerr << "ssbft_bench: run needs an experiment name or scenario "
+                   "glob (try `ssbft_bench list`)\n";
+      return 2;
+    }
+    const BenchOptions o = parse_cli("ssbft_bench run", argc, argv, 3,
+                                     /*wrapper_note=*/false);
+    return run_command(argv[2], o);
+  }
+  std::cerr << "ssbft_bench: unknown command '" << command << "'\n";
+  return usage(std::cerr, 2);
+}

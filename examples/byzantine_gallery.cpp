@@ -3,78 +3,51 @@
 // regardless of the adversary's sophistication — including one that reads
 // the coin (rushing) before choosing its votes.
 //
+// The four worlds are registered scenario cells (`gallery/*` in the
+// harness registry — `ssbft_bench run 'gallery/*'` runs the same grid),
+// and all trials of all four adversaries go through one sweep queue.
+//
 //   $ ./byzantine_gallery [trials]
 #include <iostream>
 #include <string>
 
-#include "adversary/adversaries.h"
-#include "coin/oracle_coin.h"
-#include "core/clock2.h"
-#include "harness/runner.h"
+#include "harness/scenario.h"
+#include "harness/sweep.h"
 #include "harness/table.h"
 
 using namespace ssbft;
 
-namespace {
-
-EngineBundle build(std::uint32_t n, std::uint32_t f, int attack,
-                   std::uint64_t seed) {
-  EngineBundle b;
-  auto beacon = std::make_shared<OracleBeacon>(n, OracleCoinParams{0.45, 0.45},
-                                               Rng(seed).split("beacon"));
-  CoinSpec spec = oracle_coin_spec(beacon);
-  EngineConfig cfg;
-  cfg.n = n;
-  cfg.f = f;
-  cfg.faulty = EngineConfig::last_ids_faulty(n, f);
-  cfg.seed = seed;
-  std::unique_ptr<Adversary> adv;
-  switch (attack) {
-    case 0: adv = make_silent_adversary(); break;
-    case 1: adv = make_random_noise_adversary(10, 48); break;
-    case 2: {
-      ByteWriter x, y;
-      x.u8(0);
-      y.u8(1);
-      adv = make_split_value_adversary(0, std::move(x).take(),
-                                       std::move(y).take());
-      break;
-    }
-    default: adv = make_anti_coin_adversary(beacon, 0); break;
-  }
-  auto factory = [spec](const ProtocolEnv& env, Rng rng) {
-    return std::make_unique<SsByz2Clock>(env, spec, 0, rng);
-  };
-  b.engine = std::make_unique<Engine>(cfg, factory, std::move(adv));
-  b.engine->add_listener(beacon.get());
-  b.keepalive = beacon;
-  return b;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const std::uint64_t trials =
-      argc > 1 ? std::stoull(argv[1]) : 40;
-  const char* names[] = {
-      "silent (crash)", "random noise", "split-world equivocation",
-      "anti-coin rusher (reads the coin first)"};
+  const std::uint64_t trials = argc > 1 ? std::stoull(argv[1]) : 40;
+  const struct {
+    const char* scenario;
+    const char* label;
+  } rows[] = {
+      {"gallery/silent", "silent (crash)"},
+      {"gallery/noise", "random noise"},
+      {"gallery/split", "split-world equivocation"},
+      {"gallery/anti-coin", "anti-coin rusher (reads the coin first)"},
+  };
+
+  std::vector<SweepCell> cells;
+  for (const auto& row : rows) {
+    const ScenarioSpec* spec = find_scenario(row.scenario);
+    SSBFT_CHECK(spec != nullptr);
+    RunnerConfig rc = scenario_runner_config(*spec);
+    rc.trials = trials;
+    cells.push_back(SweepCell{spec->name, build_scenario(*spec), rc});
+  }
 
   std::cout << "ss-Byz-2-Clock, n=7, f=2, " << trials
             << " trials per adversary, randomized genesis\n\n";
+  const std::vector<TrialStats> stats = run_sweep(cells, SweepOptions{});
   AsciiTable t({"adversary", "converged", "mean beats", "median", "p90"});
-  for (int attack = 0; attack < 4; ++attack) {
-    RunnerConfig rc;
-    rc.trials = trials;
-    rc.base_seed = 11;
-    rc.convergence.max_beats = 5000;
-    auto stats = run_trials(
-        [attack](std::uint64_t seed) { return build(7, 2, attack, seed); },
-        rc);
-    t.add_row({names[attack],
-               std::to_string(stats.converged) + "/" + std::to_string(trials),
-               fmt_double(stats.mean, 1), fmt_double(stats.median, 1),
-               fmt_double(stats.p90, 1)});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const TrialStats& s = stats[i];
+    t.add_row({rows[i].label,
+               std::to_string(s.converged) + "/" + std::to_string(trials),
+               fmt_double(s.mean, 1), fmt_double(s.median, 1),
+               fmt_double(s.p90, 1)});
   }
   t.print(std::cout);
   std::cout

@@ -1,0 +1,104 @@
+#include "harness/report.h"
+
+#include <cstdio>
+
+namespace ssbft {
+
+std::optional<ReportFormat> parse_report_format(const std::string& s) {
+  if (s == "ascii") return ReportFormat::kAscii;
+  if (s == "csv") return ReportFormat::kCsv;
+  if (s == "jsonl") return ReportFormat::kJsonl;
+  return std::nullopt;
+}
+
+const char* report_format_name(ReportFormat f) {
+  switch (f) {
+    case ReportFormat::kAscii: return "ascii";
+    case ReportFormat::kCsv: return "csv";
+    case ReportFormat::kJsonl: return "jsonl";
+  }
+  return "?";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (ch < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += static_cast<char>(ch);
+        }
+    }
+  }
+  return out;
+}
+
+Report::Report(RunMeta meta, ReportFormat format, std::ostream& out)
+    : meta_(std::move(meta)), format_(format), out_(out) {}
+
+void Report::text(const std::string& s) {
+  if (format_ == ReportFormat::kAscii) out_ << s;
+}
+
+void Report::table(const std::string& id, const AsciiTable& t) {
+  switch (format_) {
+    case ReportFormat::kAscii:
+      t.print(out_);
+      return;
+    case ReportFormat::kCsv: {
+      out_ << "experiment,table,seed,trials,jobs";
+      for (const auto& h : t.headers()) out_ << ',' << csv_escape(h);
+      out_ << '\n';
+      const std::string prefix = csv_escape(meta_.experiment) + ',' +
+                                 csv_escape(id) + ',' +
+                                 std::to_string(meta_.seed) + ',' +
+                                 std::to_string(meta_.trials) + ',' +
+                                 std::to_string(meta_.jobs);
+      for (const auto& row : t.row_data()) {
+        out_ << prefix;
+        for (const auto& cell : row) out_ << ',' << csv_escape(cell);
+        out_ << '\n';
+      }
+      return;
+    }
+    case ReportFormat::kJsonl: {
+      const std::string prefix =
+          "{\"experiment\":\"" + json_escape(meta_.experiment) +
+          "\",\"table\":\"" + json_escape(id) +
+          "\",\"seed\":" + std::to_string(meta_.seed) +
+          ",\"trials\":" + std::to_string(meta_.trials) +
+          ",\"jobs\":" + std::to_string(meta_.jobs) + ",\"columns\":{";
+      const auto& headers = t.headers();
+      for (const auto& row : t.row_data()) {
+        out_ << prefix;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+          if (c != 0) out_ << ',';
+          out_ << '"' << json_escape(headers[c]) << "\":\""
+               << json_escape(row[c]) << '"';
+        }
+        out_ << "}}\n";
+      }
+      return;
+    }
+  }
+}
+
+void Report::csv_trailer(const AsciiTable& t) {
+  if (format_ != ReportFormat::kAscii) return;
+  out_ << "\nCSV follows:\n";
+  t.print_csv(out_);
+}
+
+}  // namespace ssbft

@@ -34,7 +34,8 @@ struct TrialStats {
   std::uint64_t max = 0;
   // Mean correct-node messages per beat across trials (traffic cost).
   double mean_msgs_per_beat = 0.0;
-  // All converged samples (for tail plots).
+  // All converged samples (for tail plots), reserved to the trial count
+  // up front so the merge loop never reallocates.
   std::vector<std::uint64_t> samples;
 
   double convergence_rate() const {
@@ -55,6 +56,8 @@ struct RunnerConfig {
   ConvergenceConfig convergence;
 };
 
+// Runs one cell's trials (implemented in sweep.cpp as a single-cell sweep,
+// so the serial, parallel and cross-cell paths share one merge).
 TrialStats run_trials(const EngineBuilder& builder, const RunnerConfig& cfg);
 
 }  // namespace ssbft

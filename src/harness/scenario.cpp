@@ -1,0 +1,651 @@
+#include "harness/scenario.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "adversary/adversaries.h"
+#include "agreement/phase_king.h"
+#include "agreement/phase_queen.h"
+#include "agreement/turpin_coan.h"
+#include "baselines/dolev_welch.h"
+#include "baselines/pipelined_ba_clock.h"
+#include "coin/coin_pipeline.h"
+#include "coin/fm_coin.h"
+#include "coin/oracle_coin.h"
+#include "core/cascade.h"
+#include "core/clock2.h"
+#include "core/clock4.h"
+#include "core/clock_sync.h"
+#include "support/check.h"
+
+namespace ssbft {
+
+const char* family_name(Family f) {
+  switch (f) {
+    case Family::kClockSync: return "ss-Byz-Clock-Sync";
+    case Family::kClock4: return "ss-Byz-4-Clock";
+    case Family::kClock2: return "ss-Byz-2-Clock";
+    case Family::kCascade: return "cascade (Sec. 5)";
+    case Family::kDolevWelch: return "Dolev-Welch [10]";
+    case Family::kDolevWelchShared: return "DW + shared coin";
+    case Family::kPipelinedQueen: return "pipelined queen [15]";
+    case Family::kPipelinedKing: return "pipelined king [7]";
+  }
+  return "?";
+}
+
+const char* attack_name(Attack a) {
+  switch (a) {
+    case Attack::kSilent: return "silent";
+    case Attack::kNoise: return "noise";
+    case Attack::kSplit: return "split";
+    case Attack::kSkew: return "skew";
+    case Attack::kCoinAttack: return "gvss-attacker";
+    case Attack::kAntiCoin: return "anti-coin";
+    case Attack::kAdaptive: return "adaptive-splitter";
+  }
+  return "?";
+}
+
+std::unique_ptr<Adversary> make_attack(Attack a, ClockValue k,
+                                       ChannelId coin_base,
+                                       std::uint32_t noise_msgs) {
+  switch (a) {
+    case Attack::kSilent:
+      return make_silent_adversary();
+    case Attack::kNoise:
+      return make_random_noise_adversary(noise_msgs, 48);
+    case Attack::kSplit: {
+      ByteWriter x, y;
+      x.u8(0);
+      y.u8(1);
+      return make_split_value_adversary(0, std::move(x).take(),
+                                        std::move(y).take());
+    }
+    case Attack::kSkew:
+      return make_clock_skew_adversary(k, 0);
+    case Attack::kCoinAttack:
+      return make_fm_coin_attacker(PrimeField::kDefaultPrime, coin_base);
+    case Attack::kAdaptive:
+      return make_adaptive_quorum_splitter(k, 0);
+    case Attack::kAntiCoin:
+      SSBFT_REQUIRE_MSG(false,
+                        "anti-coin adversary needs the world's oracle beacon "
+                        "(only beacon-backed families can build it)");
+  }
+  return make_silent_adversary();
+}
+
+namespace {
+
+CoinPipelineMode pipeline_mode(const World& w) {
+  return w.shared_pipeline ? CoinPipelineMode::kShared
+                           : CoinPipelineMode::kPerSubClock;
+}
+
+// Adversary for a world: honors the world's noise tuning, and (for
+// beacon-backed families) kAntiCoin rushing the beacon on
+// `clock_channel`; everything else goes through make_attack.
+std::unique_ptr<Adversary> make_world_attack(
+    const World& w, ClockValue attack_k, ChannelId coin_base,
+    const std::shared_ptr<OracleBeacon>& beacon, ChannelId clock_channel) {
+  if (w.attack == Attack::kAntiCoin) {
+    SSBFT_REQUIRE_MSG(beacon != nullptr,
+                      "anti-coin adversary requires an oracle-coin world");
+    return make_anti_coin_adversary(beacon, clock_channel);
+  }
+  return make_attack(w.attack, attack_k, coin_base, w.noise_msgs_per_beat);
+}
+
+}  // namespace
+
+EngineConfig world_config(const World& w, std::uint64_t seed) {
+  EngineConfig cfg;
+  cfg.n = w.n;
+  cfg.f = w.f;
+  cfg.faulty = EngineConfig::last_ids_faulty(w.n, w.actual);
+  cfg.seed = seed;
+  cfg.faults = w.faults;
+  cfg.track_channel_bytes = w.track_channel_bytes;
+  return cfg;
+}
+
+// ss-Byz-Clock-Sync (the paper).
+EngineBuilder build_clock_sync(World w) {
+  return [w](std::uint64_t seed) {
+    EngineBundle b;
+    CoinSpec spec;
+    std::shared_ptr<OracleBeacon> beacon;
+    if (w.coin == CoinKind::kOracle) {
+      beacon = std::make_shared<OracleBeacon>(w.n, OracleCoinParams{0.45, 0.45},
+                                              Rng(seed).split("beacon"));
+      spec = oracle_coin_spec(beacon);
+    } else {
+      spec = fm_coin_spec();
+    }
+    const CoinPipelineMode mode = pipeline_mode(w);
+    const auto coin_base = static_cast<ChannelId>(
+        3 + SsByz4Clock::channels_needed(spec, mode));
+    std::unique_ptr<Adversary> adv;
+    if (w.actual != 0) {
+      adv = make_world_attack(w, w.k, coin_base, beacon, 0);
+    }
+    auto factory = [spec, k = w.k, mode](const ProtocolEnv& env, Rng rng) {
+      return std::make_unique<SsByzClockSync>(env, k, spec, rng, 0, mode);
+    };
+    b.engine = std::make_unique<Engine>(world_config(w, seed), factory,
+                                        std::move(adv));
+    if (beacon) {
+      b.engine->add_listener(beacon.get());
+      b.keepalive = beacon;
+    }
+    return b;
+  };
+}
+
+// ss-Byz-4-Clock building block (Remark 4.1 ablation).
+EngineBuilder build_clock4(World w) {
+  return [w](std::uint64_t seed) {
+    EngineBundle b;
+    CoinSpec spec;
+    std::shared_ptr<OracleBeacon> beacon;
+    if (w.coin == CoinKind::kOracle) {
+      beacon = std::make_shared<OracleBeacon>(w.n, OracleCoinParams{0.45, 0.45},
+                                              Rng(seed).split("beacon"));
+      spec = oracle_coin_spec(beacon);
+    } else {
+      spec = fm_coin_spec();
+    }
+    const CoinPipelineMode mode = pipeline_mode(w);
+    std::unique_ptr<Adversary> adv;
+    if (w.actual != 0) {
+      // The 4-clock's modulus is fixed; attacks that take a k see 4.
+      adv = make_world_attack(w, 4, 0, beacon, 0);
+    }
+    auto factory = [spec, mode](const ProtocolEnv& env, Rng rng) {
+      return std::make_unique<SsByz4Clock>(env, spec, 0, rng, mode);
+    };
+    b.engine = std::make_unique<Engine>(world_config(w, seed), factory,
+                                        std::move(adv));
+    if (beacon) {
+      b.engine->add_listener(beacon.get());
+      b.keepalive = beacon;
+    }
+    return b;
+  };
+}
+
+// ss-Byz-2-Clock on the oracle coin (gallery / convergence-tail worlds).
+EngineBuilder build_clock2(World w) {
+  return [w](std::uint64_t seed) {
+    EngineBundle b;
+    auto beacon = std::make_shared<OracleBeacon>(
+        w.n, OracleCoinParams{0.45, 0.45}, Rng(seed).split("beacon"));
+    CoinSpec spec = oracle_coin_spec(beacon);
+    std::unique_ptr<Adversary> adv;
+    if (w.actual != 0) {
+      adv = make_world_attack(w, 2, 0, beacon, 0);
+    }
+    auto factory = [spec](const ProtocolEnv& env, Rng rng) {
+      return std::make_unique<SsByz2Clock>(env, spec, 0, rng);
+    };
+    b.engine = std::make_unique<Engine>(world_config(w, seed), factory,
+                                        std::move(adv));
+    b.engine->add_listener(beacon.get());
+    b.keepalive = beacon;
+    return b;
+  };
+}
+
+// Section 5 cascade (2^levels-clock).
+EngineBuilder build_cascade(World w, std::uint32_t levels) {
+  return [w, levels](std::uint64_t seed) {
+    EngineBundle b;
+    auto beacon = std::make_shared<OracleBeacon>(
+        w.n, OracleCoinParams{0.45, 0.45}, Rng(seed).split("beacon"));
+    CoinSpec spec = oracle_coin_spec(beacon);
+    std::unique_ptr<Adversary> adv;
+    if (w.actual != 0) {
+      adv = make_world_attack(w, w.k, 0, beacon, 0);
+    }
+    auto factory = [spec, levels](const ProtocolEnv& env, Rng rng) {
+      return std::make_unique<CascadeClock>(env, levels, spec, rng);
+    };
+    b.engine = std::make_unique<Engine>(world_config(w, seed), factory,
+                                        std::move(adv));
+    b.engine->add_listener(beacon.get());
+    b.keepalive = beacon;
+    return b;
+  };
+}
+
+// Dolev-Welch randomized baseline ([10] sync row).
+EngineBuilder build_dolev_welch(World w) {
+  return [w](std::uint64_t seed) {
+    EngineBundle b;
+    auto adv = w.actual == 0 ? nullptr
+                   : make_world_attack(w, w.k, 0, nullptr, 0);
+    auto factory = [k = w.k](const ProtocolEnv& env, Rng rng) {
+      return std::make_unique<DolevWelchClock>(env, k, rng);
+    };
+    b.engine = std::make_unique<Engine>(world_config(w, seed), factory,
+                                        std::move(adv));
+    return b;
+  };
+}
+
+// Section 6.1 retrofit: the DW gamble over a shared (oracle or FM) coin.
+EngineBuilder build_dolev_welch_shared(World w) {
+  return [w](std::uint64_t seed) {
+    EngineBundle b;
+    CoinSpec spec;
+    std::shared_ptr<OracleBeacon> beacon;
+    if (w.coin == CoinKind::kOracle) {
+      beacon = std::make_shared<OracleBeacon>(w.n, OracleCoinParams{0.45, 0.45},
+                                              Rng(seed).split("beacon"));
+      spec = oracle_coin_spec(beacon);
+    } else {
+      spec = fm_coin_spec();
+    }
+    std::unique_ptr<Adversary> adv;
+    if (w.actual != 0) {
+      adv = make_world_attack(w, w.k, 0, beacon, 0);
+    }
+    auto factory = [spec, k = w.k](const ProtocolEnv& env, Rng rng) {
+      return std::make_unique<DolevWelchSharedCoin>(env, k, spec, rng);
+    };
+    b.engine = std::make_unique<Engine>(world_config(w, seed), factory,
+                                        std::move(adv));
+    if (beacon) {
+      b.engine->add_listener(beacon.get());
+      b.keepalive = beacon;
+    }
+    return b;
+  };
+}
+
+// Pipelined-BA deterministic baselines ([15] = queen, [7] = king).
+EngineBuilder build_pipelined(World w, bool king) {
+  return [w, king](std::uint64_t seed) {
+    EngineBundle b;
+    const BaSpec spec =
+        turpin_coan_spec(king ? phase_king_spec() : phase_queen_spec());
+    auto adv = w.actual == 0 ? nullptr
+                   : make_world_attack(w, w.k, 0, nullptr, 0);
+    auto factory = [spec, k = w.k](const ProtocolEnv& env, Rng rng) {
+      return std::make_unique<PipelinedBaClock>(env, k, spec, rng);
+    };
+    b.engine = std::make_unique<Engine>(world_config(w, seed), factory,
+                                        std::move(adv));
+    return b;
+  };
+}
+
+EngineBuilder build_world(Family family, const World& w) {
+  switch (family) {
+    case Family::kClockSync: return build_clock_sync(w);
+    case Family::kClock4: return build_clock4(w);
+    case Family::kClock2: return build_clock2(w);
+    case Family::kCascade: return build_cascade(w, w.levels);
+    case Family::kDolevWelch: return build_dolev_welch(w);
+    case Family::kDolevWelchShared: return build_dolev_welch_shared(w);
+    case Family::kPipelinedQueen: return build_pipelined(w, /*king=*/false);
+    case Family::kPipelinedKing: return build_pipelined(w, /*king=*/true);
+  }
+  SSBFT_CHECK(false);
+  return build_clock_sync(w);
+}
+
+EngineBuilder build_scenario(const ScenarioSpec& spec) {
+  return build_world(spec.family, spec.world);
+}
+
+RunnerConfig scenario_runner_config(const ScenarioSpec& spec) {
+  RunnerConfig rc;
+  rc.trials = spec.trials;
+  rc.base_seed = spec.base_seed;
+  rc.convergence.max_beats = spec.max_beats;
+  if (spec.confirm_window != 0) rc.convergence.confirm_window = spec.confirm_window;
+  return rc;
+}
+
+// ---------------------------------------------------------------------------
+// Registry. Covers every convergence cell of the bench tables (the
+// steady-state single-engine measurements of bench_coin_quality /
+// bench_message_complexity are experiment-internal — they are bit-stream
+// and traffic probes, not trial cells) plus the network/transient-fault
+// variants that have no bench of their own.
+
+namespace {
+
+std::string world_blurb(Family fam, const World& w) {
+  std::ostringstream os;
+  os << family_name(fam) << " n=" << w.n << " f=" << w.f;
+  if (w.actual != w.f) os << " actual=" << w.actual;
+  if (fam == Family::kCascade) {
+    os << " k=" << (ClockValue{1} << w.levels);
+  } else if (fam != Family::kClock2 && fam != Family::kClock4) {
+    os << " k=" << w.k;
+  }
+  if (w.actual != 0) os << ", " << attack_name(w.attack);
+  if (w.coin == CoinKind::kFm &&
+      (fam == Family::kClockSync || fam == Family::kClock4 ||
+       fam == Family::kDolevWelchShared)) {
+    os << ", FM coin";
+  }
+  if (w.shared_pipeline != 0) os << ", shared pipeline";
+  if (w.faults.faulty_drop_prob > 0.0) {
+    os << ", drop " << w.faults.faulty_drop_prob << " until beat "
+       << w.faults.network_faulty_until;
+  }
+  if (w.faults.phantoms_per_beat > 0) {
+    os << ", " << w.faults.phantoms_per_beat << " phantoms/beat until beat "
+       << w.faults.network_faulty_until;
+  }
+  if (!w.faults.corruptions.empty()) {
+    os << ", corruptions at";
+    for (const auto& [beat, ids] : w.faults.corruptions) {
+      os << " b" << beat << "(" << ids.size() << ")";
+    }
+  }
+  return os.str();
+}
+
+std::vector<ScenarioSpec> make_registry() {
+  std::vector<ScenarioSpec> specs;
+  auto add = [&](std::string name, Family fam, const World& w,
+                 std::uint64_t trials, std::uint64_t seed,
+                 std::uint64_t max_beats, std::uint64_t confirm = 0,
+                 std::string extra = "") {
+    ScenarioSpec s;
+    s.name = std::move(name);
+    s.summary = world_blurb(fam, w) + extra;
+    s.family = fam;
+    s.world = w;
+    s.trials = trials;
+    s.base_seed = seed;
+    s.max_beats = max_beats;
+    s.confirm_window = confirm;
+    specs.push_back(std::move(s));
+  };
+
+  // --- Table 1 (bench_table1): four families x (n, f), k = 64. ---------
+  struct NF {
+    std::uint32_t n, f;
+  };
+  const NF grid[] = {{4, 1}, {7, 2}, {10, 3}, {13, 4}};
+  for (const auto [n, f] : grid) {
+    World w;
+    w.n = n;
+    w.f = f;
+    w.actual = f;
+    w.k = 64;
+
+    World wd = w;
+    wd.attack = Attack::kSplit;
+    add("table1/dw/n" + std::to_string(n), Family::kDolevWelch, wd, 10,
+        1000 + n, 60000);
+
+    World wq = w;
+    wq.f = (n - 1) / 4;  // phase-queen's own legal bound f < n/4
+    wq.actual = wq.f;
+    wq.attack = Attack::kSkew;
+    add("table1/queen/n" + std::to_string(n), Family::kPipelinedQueen, wq, 20,
+        2000 + n, 4000);
+
+    World wk = w;
+    wk.attack = Attack::kSkew;
+    add("table1/king/n" + std::to_string(n), Family::kPipelinedKing, wk, 20,
+        3000 + n, 4000);
+
+    World ws = w;
+    ws.attack = Attack::kSkew;
+    ws.coin = CoinKind::kOracle;
+    add("table1/sync/n" + std::to_string(n), Family::kClockSync, ws, 20,
+        4000 + n, 8000);
+  }
+  // Full-stack spot check: the paper's algorithm on the message-level coin.
+  for (const auto [n, f] : {NF{4, 1}, NF{7, 2}}) {
+    World w;
+    w.n = n;
+    w.f = f;
+    w.actual = f;
+    w.k = 64;
+    w.coin = CoinKind::kFm;
+    w.attack = Attack::kSkew;
+    add("table1/sync-fm/n" + std::to_string(n), Family::kClockSync, w, 10,
+        5000 + n, 8000);
+  }
+
+  // --- Resiliency boundaries (bench_resiliency): n = 13, sweep actual. --
+  for (std::uint32_t actual : {0u, 2u, 3u, 4u, 5u}) {
+    World wq;
+    wq.n = 13;
+    wq.f = 3;  // queen assumes its own legal max
+    wq.actual = actual;
+    wq.k = 16;
+    wq.attack = Attack::kSkew;
+    add("resiliency/queen/a" + std::to_string(actual), Family::kPipelinedQueen,
+        wq, 10, 77, 3000, 24);
+
+    World wk = wq;  // king and the paper assume f = 4
+    wk.f = 4;
+    add("resiliency/king/a" + std::to_string(actual), Family::kPipelinedKing,
+        wk, 10, 77, 3000, 24);
+    add("resiliency/sync/a" + std::to_string(actual), Family::kClockSync, wk,
+        10, 77, 8000, 24);
+  }
+
+  // --- k-scaling (bench_kclock_scaling): n = 4, f = 1, noise. ----------
+  for (std::uint32_t levels = 2; levels <= 8; levels += 2) {
+    const ClockValue k = ClockValue{1} << levels;
+    World w;
+    w.n = 4;
+    w.f = 1;
+    w.actual = 1;
+    w.k = k;
+    w.levels = levels;
+    w.attack = Attack::kNoise;
+    add("kclock/sync/k" + std::to_string(k), Family::kClockSync, w, 15,
+        60 + levels, 30000, 2 * k + 8);
+    add("kclock/cascade/k" + std::to_string(k), Family::kCascade, w, 15,
+        60 + levels, 30000, 2 * k + 8);
+  }
+
+  // --- Coin leverage (bench_coin_leverage): k = 8. ---------------------
+  for (const auto [n, f] : {NF{4, 1}, NF{7, 2}, NF{10, 3}}) {
+    World w;
+    w.n = n;
+    w.f = f;
+    w.actual = f;
+    w.k = 8;
+    w.attack = Attack::kSplit;
+
+    add("leverage/dw-local/n" + std::to_string(n), Family::kDolevWelch, w, 10,
+        90 + n, 60000);
+    add("leverage/dw-shared/n" + std::to_string(n), Family::kDolevWelchShared,
+        w, 20, 90 + n, 4000);
+    World wf = w;
+    wf.coin = CoinKind::kFm;
+    add("leverage/dw-shared-fm/n" + std::to_string(n),
+        Family::kDolevWelchShared, wf, 10, 90 + n, 4000);
+    World ws = w;
+    ws.attack = Attack::kSkew;
+    add("leverage/sync/n" + std::to_string(n), Family::kClockSync, ws, 20,
+        90 + n, 8000);
+  }
+  for (const auto [n, f] : {NF{4, 1}, NF{7, 2}}) {
+    World w;
+    w.n = n;
+    w.f = f;
+    w.actual = f;
+    w.k = 8;
+    w.attack = Attack::kAdaptive;
+    add("leverage/adaptive/dw-shared/n" + std::to_string(n),
+        Family::kDolevWelchShared, w, 20, 95 + n, 20000);
+    add("leverage/adaptive/sync/n" + std::to_string(n), Family::kClockSync, w,
+        20, 95 + n, 20000);
+  }
+
+  // --- Remark 4.1 ablation (bench_ablation_pipeline): FM coin, noise. --
+  {
+    World w;
+    w.n = 4;
+    w.f = 1;
+    w.actual = 1;
+    w.k = 32;
+    w.attack = Attack::kNoise;
+    w.coin = CoinKind::kFm;
+    for (bool shared : {false, true}) {
+      World wm = w;
+      wm.shared_pipeline = shared ? 1 : 0;
+      const char* suffix = shared ? "shared" : "per-subclock";
+      add(std::string("ablation/clock4/") + suffix, Family::kClock4, wm, 12,
+          70, 6000);
+      add(std::string("ablation/kclock/") + suffix, Family::kClockSync, wm, 12,
+          70, 6000);
+    }
+  }
+
+  // --- Convergence tail (bench_convergence_tail). ----------------------
+  {
+    World w;
+    w.n = 4;
+    w.f = 1;
+    w.actual = 1;
+    w.k = 2;
+    w.attack = Attack::kSplit;
+    add("tail/clock2/n4", Family::kClock2, w, 400, 10, 4000);
+    World w13 = w;
+    w13.n = 13;
+    w13.f = 4;
+    w13.actual = 4;
+    add("tail/clock2/n13", Family::kClock2, w13, 400, 10, 4000);
+    World ws;
+    ws.n = 7;
+    ws.f = 2;
+    ws.actual = 2;
+    ws.k = 64;
+    ws.attack = Attack::kSkew;
+    add("tail/sync/n7", Family::kClockSync, ws, 200, 10, 8000);
+  }
+
+  // --- Adversary gallery (examples/byzantine_gallery): 2-clock, n = 7. -
+  {
+    World w;
+    w.n = 7;
+    w.f = 2;
+    w.actual = 2;
+    w.k = 2;
+    for (Attack a : {Attack::kSilent, Attack::kNoise, Attack::kSplit,
+                     Attack::kAntiCoin}) {
+      World wa = w;
+      wa.attack = a;
+      // The gallery's historical noise world sprays 10 messages/beat
+      // (the bench-wide default is 8).
+      if (a == Attack::kNoise) wa.noise_msgs_per_beat = 10;
+      add(std::string("gallery/") + attack_name(a), Family::kClock2, wa, 40,
+          11, 5000);
+    }
+  }
+
+  // --- Network/transient fault axes (FaultPlan), previously unreachable
+  // from any bench: a lossy network, a phantom storm, both at once, and a
+  // mid-run corruption schedule (Definition 2.2 / transient faults).
+  {
+    World w;
+    w.n = 7;
+    w.f = 2;
+    w.actual = 2;
+    w.k = 8;
+    w.attack = Attack::kSilent;
+
+    World lossy = w;
+    lossy.faults.network_faulty_until = 60;
+    lossy.faults.faulty_drop_prob = 0.3;
+    add("net/lossy", Family::kClockSync, lossy, 20, 1300, 8000);
+
+    World storm = w;
+    storm.faults.network_faulty_until = 60;
+    storm.faults.phantoms_per_beat = 8;
+    storm.faults.phantom_max_len = 64;
+    add("net/phantom-storm", Family::kClockSync, storm, 20, 1400, 8000);
+
+    World both = w;
+    both.faults.network_faulty_until = 60;
+    both.faults.faulty_drop_prob = 0.25;
+    both.faults.phantoms_per_beat = 4;
+    both.faults.phantom_max_len = 64;
+    add("net/lossy-phantom", Family::kClockSync, both, 20, 1500, 8000);
+
+    // Corruptions land inside the convergence window (the k = 8 stack
+    // settles in ~10 beats), so the detector's measurement actually spans
+    // the re-stabilization — a schedule after confirmed convergence would
+    // never run (measure_convergence stops once convergence is certified).
+    World corrupt = w;
+    corrupt.faults.corruptions[5] = {0, 1};
+    corrupt.faults.corruptions[10] = {2};
+    add("fault/mid-run-corruption", Family::kClockSync, corrupt, 20, 1600,
+        8000);
+  }
+
+  std::sort(specs.begin(), specs.end(),
+            [](const ScenarioSpec& a, const ScenarioSpec& b) {
+              return a.name < b.name;
+            });
+  for (std::size_t i = 1; i < specs.size(); ++i) {
+    SSBFT_CHECK_MSG(specs[i - 1].name != specs[i].name,
+                    "duplicate scenario name " << specs[i].name);
+  }
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<ScenarioSpec>& scenario_registry() {
+  static const std::vector<ScenarioSpec> registry = make_registry();
+  return registry;
+}
+
+const ScenarioSpec* find_scenario(const std::string& name) {
+  const auto& reg = scenario_registry();
+  const auto it = std::lower_bound(
+      reg.begin(), reg.end(), name,
+      [](const ScenarioSpec& s, const std::string& n) { return s.name < n; });
+  if (it == reg.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+bool glob_match(const std::string& pattern, const std::string& text) {
+  // Iterative fnmatch-style matcher with single-star backtracking.
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+std::vector<const ScenarioSpec*> match_scenarios(const std::string& pattern) {
+  std::vector<const ScenarioSpec*> out;
+  for (const ScenarioSpec& s : scenario_registry()) {
+    if (glob_match(pattern, s.name)) out.push_back(&s);
+  }
+  return out;
+}
+
+}  // namespace ssbft

@@ -1,0 +1,177 @@
+// Implements both the cross-cell sweep scheduler and the single-cell
+// run_trials entry point on one shared (claim, run, merge) core, so the
+// two paths cannot drift apart numerically.
+#include "harness/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "support/check.h"
+
+namespace ssbft {
+
+namespace {
+
+double percentile(const std::vector<std::uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double idx = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return static_cast<double>(sorted[lo]) * (1.0 - frac) +
+         static_cast<double>(sorted[hi]) * frac;
+}
+
+// What one trial contributes to the aggregate, captured per index so that
+// workers never contend and the merge can run in trial order.
+struct TrialOutcome {
+  bool converged = false;
+  std::uint64_t synced_at = 0;
+  double msgs_per_beat = 0.0;
+};
+
+std::uint64_t effective_jobs(std::uint64_t requested, std::uint64_t units) {
+  const unsigned hw_raw = std::thread::hardware_concurrency();
+  const std::uint64_t hw = hw_raw == 0 ? 1 : hw_raw;
+  std::uint64_t jobs = requested == 0 ? hw : requested;
+  // Trials are CPU-bound, so threads beyond the core count only add
+  // scheduling overhead — and an absurd jobs value must not exhaust OS
+  // threads. Results are jobs-independent, so clamping is safe.
+  jobs = std::min(jobs, 4 * hw);
+  return std::min(jobs, units);
+}
+
+TrialOutcome run_unit(const SweepCell& cell, std::uint64_t t) {
+  EngineBundle bundle = cell.builder(cell.cfg.base_seed + t);
+  SSBFT_CHECK(bundle.engine != nullptr);
+  const ConvergenceResult r =
+      measure_convergence(*bundle.engine, cell.cfg.convergence);
+  return {r.converged, r.synced_at,
+          bundle.engine->metrics().mean_correct_messages_per_beat()};
+}
+
+// Merge in trial order: sample order and floating-point accumulation
+// order are fixed by the trial index, never by completion order.
+TrialStats merge_outcomes(const std::vector<TrialOutcome>& outcomes) {
+  TrialStats stats;
+  stats.trials = outcomes.size();
+  if (outcomes.empty()) return stats;
+  stats.samples.reserve(outcomes.size());
+  double msgs_acc = 0.0;
+  for (const TrialOutcome& o : outcomes) {
+    msgs_acc += o.msgs_per_beat;
+    if (o.converged) {
+      ++stats.converged;
+      stats.samples.push_back(o.synced_at);
+    }
+  }
+  stats.mean_msgs_per_beat = msgs_acc / static_cast<double>(outcomes.size());
+  if (!stats.samples.empty()) {
+    std::vector<std::uint64_t> sorted = stats.samples;
+    std::sort(sorted.begin(), sorted.end());
+    double sum = 0.0;
+    for (auto s : sorted) sum += static_cast<double>(s);
+    stats.mean = sum / static_cast<double>(sorted.size());
+    stats.median = percentile(sorted, 0.5);
+    stats.p90 = percentile(sorted, 0.9);
+    stats.max = sorted.back();
+  }
+  return stats;
+}
+
+}  // namespace
+
+std::vector<TrialStats> run_sweep(const std::vector<SweepCell>& cells,
+                                  const SweepOptions& opts) {
+  // Flatten the grid into one unit list: unit u = (cell_of[u],
+  // trial_of[u]), cells in order, trials in order within each cell — so a
+  // serial walk is exactly "run_trials per cell".
+  std::vector<std::uint32_t> cell_of;
+  std::vector<std::uint64_t> trial_of;
+  std::vector<std::vector<TrialOutcome>> outcomes(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    outcomes[c].resize(cells[c].cfg.trials);
+    for (std::uint64_t t = 0; t < cells[c].cfg.trials; ++t) {
+      cell_of.push_back(static_cast<std::uint32_t>(c));
+      trial_of.push_back(t);
+    }
+  }
+  const std::uint64_t units = cell_of.size();
+
+  // Per-cell countdown for the progress line; fires when a cell's last
+  // unit retires, from whichever worker ran it. The done-count increments
+  // under the same lock as the print so the reported sequence is
+  // monotone even when two cells finish concurrently.
+  std::vector<std::atomic<std::uint64_t>> remaining(cells.size());
+  std::uint64_t cells_done = 0;  // guarded by io_mu once workers start
+  std::mutex io_mu;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    remaining[c].store(cells[c].cfg.trials);
+    if (cells[c].cfg.trials == 0) ++cells_done;
+  }
+  const auto finish_unit = [&](std::uint32_t c) {
+    if (remaining[c].fetch_sub(1) != 1) return;
+    if (!opts.progress) return;
+    std::lock_guard<std::mutex> lock(io_mu);
+    std::fprintf(stderr, "sweep: %llu/%zu cells done\n",
+                 static_cast<unsigned long long>(++cells_done), cells.size());
+    std::fflush(stderr);
+  };
+  const auto run_one = [&](std::uint64_t u) {
+    const std::uint32_t c = cell_of[u];
+    outcomes[c][trial_of[u]] = run_unit(cells[c], trial_of[u]);
+    finish_unit(c);
+  };
+
+  const std::uint64_t jobs = effective_jobs(opts.jobs, units);
+  if (jobs <= 1) {
+    for (std::uint64_t u = 0; u < units; ++u) run_one(u);
+  } else {
+    std::atomic<std::uint64_t> next{0};
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::uint64_t w = 0; w < jobs; ++w) {
+      pool.emplace_back([&] {
+        try {
+          for (std::uint64_t u = next.fetch_add(1); u < units;
+               u = next.fetch_add(1)) {
+            run_one(u);
+          }
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (!first_error) first_error = std::current_exception();
+          }
+          // Exhaust the unit counter so the other workers wind down
+          // instead of grinding through the remaining trials.
+          next.store(units);
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  std::vector<TrialStats> stats;
+  stats.reserve(cells.size());
+  for (const auto& cell_outcomes : outcomes) {
+    stats.push_back(merge_outcomes(cell_outcomes));
+  }
+  return stats;
+}
+
+TrialStats run_trials(const EngineBuilder& builder, const RunnerConfig& cfg) {
+  SweepOptions opts;
+  opts.jobs = cfg.jobs;
+  std::vector<SweepCell> cells;
+  cells.push_back(SweepCell{"", builder, cfg});
+  return run_sweep(cells, opts)[0];
+}
+
+}  // namespace ssbft

@@ -1,0 +1,39 @@
+// Cross-cell sweep scheduler: one global work queue of (cell, trial)
+// units feeding a worker pool, so a multi-row table runs at the speed of
+// its aggregate work instead of barriering on the slowest cell of each
+// row. Determinism contract: trial t of cell c is always seeded
+// cell.cfg.base_seed + t and outcomes are merged per cell in trial order,
+// so every cell's TrialStats is bit-identical to running that cell alone
+// with run_trials at jobs = 1 — for every jobs value and any interleaving.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/runner.h"
+
+namespace ssbft {
+
+// One cell of a sweep grid: a named engine-builder plus its trial config.
+// cfg.jobs is ignored here — scheduling is sweep-global.
+struct SweepCell {
+  std::string name;
+  EngineBuilder builder;
+  RunnerConfig cfg;
+};
+
+struct SweepOptions {
+  // Worker threads over the global unit queue. 1 = serial; 0 = one per
+  // hardware thread; clamped to 4x the hardware thread count and to the
+  // total unit count.
+  std::uint64_t jobs = 1;
+  // Opt-in stderr progress line ("sweep: c/N cells done") for long sweeps.
+  bool progress = false;
+};
+
+// Runs every (cell, trial) unit and returns one TrialStats per cell, in
+// cell order.
+std::vector<TrialStats> run_sweep(const std::vector<SweepCell>& cells,
+                                  const SweepOptions& opts);
+
+}  // namespace ssbft

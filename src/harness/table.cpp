@@ -51,7 +51,7 @@ void AsciiTable::print_csv(std::ostream& os) const {
   auto emit = [&](const std::vector<std::string>& cells) {
     for (std::size_t c = 0; c < cells.size(); ++c) {
       if (c != 0) os << ',';
-      os << cells[c];
+      os << csv_escape(cells[c]);
     }
     os << '\n';
   };
@@ -63,6 +63,19 @@ std::string fmt_double(double v, int precision) {
   std::ostringstream os;
   os << std::fixed << std::setprecision(precision) << v;
   return os.str();
+}
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (char ch : cell) {
+    if (ch == '"') out.push_back('"');
+    out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
 }
 
 }  // namespace ssbft

@@ -15,10 +15,15 @@ class AsciiTable {
   void add_row(std::vector<std::string> cells);
   // Renders with column widths fitted to content, pipe-separated.
   void print(std::ostream& os) const;
-  // Comma-separated, one line per row, headers first.
+  // RFC-4180 CSV: one line per row, headers first, cells quoted when they
+  // contain a comma, quote or line break.
   void print_csv(std::ostream& os) const;
 
   std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& row_data() const {
+    return rows_;
+  }
 
  private:
   std::vector<std::string> headers_;
@@ -27,5 +32,10 @@ class AsciiTable {
 
 // Fixed-precision double formatting helper for table cells.
 std::string fmt_double(double v, int precision = 1);
+
+// RFC-4180 cell escaping: returns the cell unchanged unless it contains a
+// comma, double quote, CR or LF, in which case it is quoted and embedded
+// quotes are doubled.
+std::string csv_escape(const std::string& cell);
 
 }  // namespace ssbft

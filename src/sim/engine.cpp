@@ -217,6 +217,7 @@ void Engine::deliver(std::vector<Message>& msgs, Rng& net_rng,
     if (is_faulty_[m.to]) continue;  // faulty inboxes live in the adversary
     if (network_faulty && cfg_.faults.faulty_drop_prob > 0.0 &&
         net_rng.next_bernoulli(cfg_.faults.faulty_drop_prob)) {
+      metrics_.count_dropped();
       continue;
     }
     inboxes_[m.to].deliver(std::move(m));

@@ -46,6 +46,11 @@ void Metrics::count_phantom() {
   ++total_.phantom_messages;
 }
 
+void Metrics::count_dropped() {
+  ++current().dropped_messages;
+  ++total_.dropped_messages;
+}
+
 void Metrics::count_correct_bulk(std::uint64_t messages, std::uint64_t bytes) {
   BeatTraffic& cur = current();
   cur.correct_messages += messages;

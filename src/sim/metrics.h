@@ -20,6 +20,9 @@ struct BeatTraffic {
   std::uint64_t adversary_messages = 0;
   std::uint64_t adversary_bytes = 0;
   std::uint64_t phantom_messages = 0;
+  // Messages lost to the faulty network (FaultPlan::faulty_drop_prob),
+  // correct-node and adversary traffic alike.
+  std::uint64_t dropped_messages = 0;
 };
 
 class Metrics {
@@ -34,6 +37,7 @@ class Metrics {
   void count_correct(std::size_t payload_bytes);
   void count_adversary(std::size_t payload_bytes);
   void count_phantom();
+  void count_dropped();
   // Bulk variants: one call per (node, beat) instead of one per message.
   void count_correct_bulk(std::uint64_t messages, std::uint64_t bytes);
   void count_adversary_bulk(std::uint64_t messages, std::uint64_t bytes);

@@ -117,6 +117,16 @@ TEST(Runner, ZeroTrialsYieldsZeroedStats) {
   EXPECT_EQ(p.mean_msgs_per_beat, 0.0);
 }
 
+TEST(Runner, SamplesReservedToTrialCount) {
+  // The merge reserves samples to the trial count before accumulating, so
+  // the loop never reallocates — observable as capacity >= trials even
+  // when only a subset converges.
+  const auto builder = dw_builder(4, 1, 8);
+  RunnerConfig rc = base_config(24, 2);
+  const TrialStats s = run_trials(builder, rc);
+  EXPECT_GE(s.samples.capacity(), s.trials);
+}
+
 TEST(Runner, BuilderExceptionPropagatesFromWorkers) {
   const EngineBuilder throwing = [](std::uint64_t seed) -> EngineBundle {
     if (seed >= 10) throw std::runtime_error("builder blew up");

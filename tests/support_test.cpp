@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <sstream>
 
+#include "harness/table.h"
 #include "support/bitwords.h"
 #include "support/bytes.h"
 #include "support/check.h"
@@ -524,6 +526,28 @@ TEST(Check, MacrosThrowContractErrors) {
   } catch (const contract_error& e) {
     EXPECT_NE(std::string(e.what()).find("ctx 42"), std::string::npos);
   }
+}
+
+TEST(CsvEscape, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape(""), "");
+  EXPECT_EQ(csv_escape("3.5 (p90 8)"), "3.5 (p90 8)");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_escape("cr\rcell"), "\"cr\rcell\"");
+}
+
+TEST(AsciiTable, CsvEscapesCommaQuoteAndNewline) {
+  AsciiTable t({"configuration", "note, quoted"});
+  t.add_row({"4-clock, two pipelines", "plain"});
+  t.add_row({"he said \"go\"", "multi\nline"});
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_EQ(csv.str(),
+            "configuration,\"note, quoted\"\n"
+            "\"4-clock, two pipelines\",plain\n"
+            "\"he said \"\"go\"\"\",\"multi\nline\"\n");
 }
 
 }  // namespace
