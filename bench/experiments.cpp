@@ -10,6 +10,7 @@
 #include "coin/coin_interface.h"
 #include "coin/fm_coin.h"
 #include "coin/oracle_coin.h"
+#include "sim/delivery.h"
 #include "support/check.h"
 
 namespace ssbft::bench {
@@ -806,6 +807,73 @@ void run_message_complexity(const BenchOptions& o, Report& r) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Delivery-adversary experiment: convergence and message cost of the
+// paper's full stack under adversarial *scheduling* — eclipse, partition,
+// targeted delay, reorder (sim/delivery.h) — against the synchronous
+// baseline, composed with the Byzantine attacks of the gallery.
+
+void run_delivery(const BenchOptions& o, Report& r) {
+  r.text("=== Delivery adversaries: ss-Byz-Clock-Sync n = 7, f = 2, "
+         "k = 8 under adversarial scheduling ===\n\n");
+
+  const char* names[] = {
+      "net/baseline",           "net/eclipse",
+      "net/eclipse+noise",      "net/partition-heal",
+      "net/partition-heal+split", "net/targeted-delay",
+      "net/targeted-delay+skew", "net/reorder",
+      "net/reorder+lossy",
+  };
+  std::vector<SweepCell> cells;
+  for (const char* name : names) cells.push_back(registry_cell(o, name));
+  const std::vector<TrialStats> stats = run_sweep(cells, sweep_options(o));
+
+  AsciiTable t({"scenario", "delivery", "heal", "adversary", "converged",
+                "mean beats", "p90", "msgs/beat"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const ScenarioSpec& spec = spec_of(cells[i]);
+    const DeliverySpec& d = spec.world.faults.delivery;
+    const TrialStats& s = stats[i];
+    const std::string heal =
+        d.kind == DeliveryKind::kSynchronous ? "-"
+        : d.heal_at == DeliverySpec::kNever ? "never"
+                                            : std::to_string(d.heal_at);
+    t.add_row({spec.name, delivery_kind_name(d.kind), heal,
+               spec.world.actual == 0 ? "-" : attack_name(spec.world.attack),
+               converged_cell(s), s.converged ? fmt_double(s.mean, 1) : "-",
+               s.converged ? fmt_double(s.p90, 0) : "-",
+               fmt_double(s.mean_msgs_per_beat, 1)});
+  }
+  r.table("main", t);
+  r.text("\nexpected shape: topology attacks push convergence past their "
+         "heal beat (stabilization restarts from the healed network's "
+         "state); reorder alone is absorbed by the inbox's canonical "
+         "ordering and matches the baseline.\n");
+
+  // Message-cost probe: one engine per cell over a fixed window past
+  // every heal beat, reading the policy counters off Metrics totals.
+  const std::uint64_t probe_beats = 120;
+  r.text("\n--- delivery-policy traffic probe (one engine per cell, " +
+         std::to_string(probe_beats) + " beats) ---\n\n");
+  AsciiTable p({"scenario", "correct msgs", "dropped", "eclipsed", "delayed",
+                "reordered", "phantoms"});
+  for (const char* name : names) {
+    const ScenarioSpec* spec = find_scenario(name);
+    SSBFT_CHECK(spec != nullptr);
+    auto bundle = build_scenario(*spec)(shifted_seed(o, spec->base_seed));
+    bundle.engine->run_beats(probe_beats);
+    const BeatTraffic& tot = bundle.engine->metrics().total();
+    p.add_row({name, std::to_string(tot.correct_messages),
+               std::to_string(tot.dropped_messages),
+               std::to_string(tot.eclipsed_messages),
+               std::to_string(tot.delayed_messages),
+               std::to_string(tot.reordered_messages),
+               std::to_string(tot.phantom_messages)});
+  }
+  r.table("probe", p);
+  r.csv_trailer(t);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -837,6 +905,10 @@ const std::vector<Experiment>& experiments() {
       {"message_complexity", "steady-state traffic per beat vs n, with the "
                              "FM stack's per-round byte breakdown",
        run_message_complexity},
+      {"delivery", "delivery adversaries: eclipse / partition / "
+                   "targeted-delay / reorder vs convergence and message "
+                   "cost",
+       run_delivery},
   };
   return kExperiments;
 }

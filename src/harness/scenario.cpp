@@ -17,6 +17,7 @@
 #include "core/clock2.h"
 #include "core/clock4.h"
 #include "core/clock_sync.h"
+#include "sim/delivery.h"
 #include "support/check.h"
 
 namespace ssbft {
@@ -349,6 +350,18 @@ std::string world_blurb(Family fam, const World& w) {
       os << " b" << beat << "(" << ids.size() << ")";
     }
   }
+  if (w.faults.delivery.kind != DeliveryKind::kSynchronous) {
+    const DeliverySpec& d = w.faults.delivery;
+    os << ", " << delivery_kind_name(d.kind) << " delivery";
+    if (!d.victims.empty()) os << " victims=" << d.victims.size();
+    if (d.kind == DeliveryKind::kPartition) {
+      os << " split=" << d.partition_split;
+    }
+    if (d.kind == DeliveryKind::kTargetedDelay) {
+      os << " d=" << d.delay_beats;
+    }
+    if (d.heal_at != DeliverySpec::kNever) os << " heal@" << d.heal_at;
+  }
   return os.str();
 }
 
@@ -587,6 +600,60 @@ std::vector<ScenarioSpec> make_registry() {
     corrupt.faults.corruptions[5] = {0, 1};
     corrupt.faults.corruptions[10] = {2};
     add("fault/mid-run-corruption", Family::kClockSync, corrupt, 20, 1600,
+        8000);
+
+    // --- Delivery adversaries (sim/delivery.h): adversarial *scheduling*
+    // power on top of the loss/phantom axes. Topology attacks heal at
+    // beat 40 (self-stabilization measures the post-heal convergence; a
+    // permanent eclipse of a correct node would never converge), except
+    // reorder, which the inbox's canonical ordering must absorb forever.
+    // net/baseline is the same world on the synchronous default — the
+    // control row of the delivery experiment.
+    add("net/baseline", Family::kClockSync, w, 20, 1690, 8000);
+
+    World eclipse = w;
+    eclipse.faults.delivery.kind = DeliveryKind::kEclipse;
+    eclipse.faults.delivery.victims = {0};
+    eclipse.faults.delivery.allowed_senders = {1, 2};
+    eclipse.faults.delivery.heal_at = 40;
+    add("net/eclipse", Family::kClockSync, eclipse, 20, 1700, 8000);
+
+    World eclipse_noise = eclipse;
+    eclipse_noise.attack = Attack::kNoise;
+    add("net/eclipse+noise", Family::kClockSync, eclipse_noise, 20, 1710,
+        8000);
+
+    World part = w;
+    part.faults.delivery.kind = DeliveryKind::kPartition;
+    part.faults.delivery.partition_split = 3;
+    part.faults.delivery.heal_at = 40;
+    add("net/partition-heal", Family::kClockSync, part, 20, 1720, 8000);
+
+    World part_split = part;
+    part_split.attack = Attack::kSplit;
+    add("net/partition-heal+split", Family::kClockSync, part_split, 20, 1730,
+        8000);
+
+    World delay = w;
+    delay.faults.delivery.kind = DeliveryKind::kTargetedDelay;
+    delay.faults.delivery.victims = {0, 1};
+    delay.faults.delivery.delay_beats = 2;
+    delay.faults.delivery.heal_at = 40;
+    add("net/targeted-delay", Family::kClockSync, delay, 20, 1740, 8000);
+
+    World delay_skew = delay;
+    delay_skew.attack = Attack::kSkew;
+    add("net/targeted-delay+skew", Family::kClockSync, delay_skew, 20, 1750,
+        8000);
+
+    World reorder = w;
+    reorder.faults.delivery.kind = DeliveryKind::kReorder;
+    add("net/reorder", Family::kClockSync, reorder, 20, 1760, 8000);
+
+    World reorder_lossy = reorder;
+    reorder_lossy.faults.network_faulty_until = 30;
+    reorder_lossy.faults.faulty_drop_prob = 0.25;
+    add("net/reorder+lossy", Family::kClockSync, reorder_lossy, 20, 1770,
         8000);
   }
 

@@ -1,0 +1,374 @@
+#include "sim/delivery.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/check.h"
+
+namespace ssbft {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sub-steps shared by the policies. These reproduce the pre-extraction
+// engine behavior bit for bit (draw order included) — SynchronousDelivery
+// is nothing but these three in sequence.
+
+// Under a lossy network the delivered count per inbox is random, so
+// pre-reserve to the deterministic pre-drop addressed count — otherwise
+// inbox capacity chases record peaks and the steady state would keep
+// allocating.
+void reserve_pre_drop(DeliveryBeat& b) {
+  std::vector<std::uint32_t>& addressed = *b.addressed_scratch;
+  addressed.assign(b.n, 0);
+  for (const Message& m : *b.correct_msgs) ++addressed[m.to];
+  for (const Message& m : *b.adv_msgs) ++addressed[m.to];
+  for (NodeId id : *b.correct_ids) {
+    (*b.inboxes)[id].reserve(addressed[id] + b.faults->phantoms_per_beat);
+  }
+}
+
+// The per-message loss lottery. Draws from net_rng only on sampling beats,
+// so the draw sequence stays a deterministic function of the traffic.
+inline bool drop_sampled(DeliveryBeat& b) {
+  return b.sample_drops && b.net_rng->next_bernoulli(b.drop_prob);
+}
+
+// Phantom messages: leftovers in network buffers from before the system
+// became coherent. They carry arbitrary (but unforged-looking) sender
+// ids, channels and payloads.
+void inject_phantoms(DeliveryBeat& b) {
+  Rng& net_rng = *b.net_rng;
+  for (NodeId id : *b.correct_ids) {
+    for (std::uint32_t i = 0; i < b.faults->phantoms_per_beat; ++i) {
+      Message m;
+      m.from = static_cast<NodeId>(net_rng.next_below(b.n));
+      m.to = id;
+      m.channel = static_cast<ChannelId>(
+          net_rng.next_below(std::max<std::uint32_t>(b.channel_count, 1)));
+      // Widened before the +1: a phantom_max_len at the type's maximum must
+      // not wrap the bound to zero.
+      const std::uint64_t len = net_rng.next_below(
+          static_cast<std::uint64_t>(b.faults->phantom_max_len) + 1);
+      m.payload = b.phantom_pool->acquire();
+      Bytes& buf = m.payload.mutable_bytes();
+      // Reserve the maximum once per slot: phantom lengths are random, and
+      // growing to a fresh record length must not allocate in the steady
+      // state.
+      buf.reserve(b.faults->phantom_max_len);
+      buf.resize(static_cast<std::size_t>(len));
+      // Bulk fill: one next_u64 draw per 8 payload bytes (little-endian,
+      // a partial final draw spends its low bytes first). The draw
+      // sequence is part of the replay contract: ceil(len/8) next_u64
+      // draws per phantom, after the from/channel/len draws above.
+      for (std::size_t off = 0; off < buf.size(); off += 8) {
+        std::uint64_t word = net_rng.next_u64();
+        const std::size_t chunk = std::min<std::size_t>(8, buf.size() - off);
+        for (std::size_t byte = 0; byte < chunk; ++byte) {
+          buf[off + byte] = static_cast<std::uint8_t>(word >> (8 * byte));
+        }
+      }
+      b.metrics->count_phantom();
+      (*b.inboxes)[id].deliver(std::move(m));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SynchronousDelivery: the paper's network, replay-exact with the
+// pre-extraction engine.
+
+class SynchronousDelivery final : public DeliveryPolicy {
+ public:
+  void deliver_beat(DeliveryBeat& b) override {
+    if (b.sample_drops) reserve_pre_drop(b);
+    deliver_all(b, *b.correct_msgs);
+    deliver_all(b, *b.adv_msgs);
+    if (b.network_faulty) inject_phantoms(b);
+  }
+
+ private:
+  static void deliver_all(DeliveryBeat& b, std::vector<Message>& msgs) {
+    for (Message& m : msgs) {
+      if ((*b.is_faulty)[m.to]) continue;  // faulty inboxes: the adversary
+      if (drop_sampled(b)) {
+        b.metrics->count_dropped();
+        continue;
+      }
+      (*b.inboxes)[m.to].deliver(std::move(m));
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// EclipseDelivery: while active, each victim hears only the allowlisted
+// senders (plus itself — loopback is local, not network traffic).
+// Suppression happens before the loss lottery, so eclipsed messages spend
+// no rng draws; phantoms are network garbage and still reach victims.
+
+class EclipseDelivery final : public DeliveryPolicy {
+ public:
+  explicit EclipseDelivery(DeliverySpec spec) : spec_(std::move(spec)) {}
+
+  void bind(std::uint32_t n, std::uint32_t) override {
+    victim_.assign(n, false);
+    for (NodeId v : spec_.victims) victim_[v] = true;
+    allowed_.assign(n, false);
+    for (NodeId s : spec_.allowed_senders) allowed_[s] = true;
+  }
+
+  void deliver_beat(DeliveryBeat& b) override {
+    const bool active = b.beat < spec_.heal_at;
+    if (b.sample_drops) reserve_pre_drop(b);
+    deliver_filtered(b, *b.correct_msgs, active);
+    deliver_filtered(b, *b.adv_msgs, active);
+    if (b.network_faulty) inject_phantoms(b);
+  }
+
+ private:
+  void deliver_filtered(DeliveryBeat& b, std::vector<Message>& msgs,
+                        bool active) {
+    for (Message& m : msgs) {
+      if ((*b.is_faulty)[m.to]) continue;
+      if (active && victim_[m.to] && !allowed_[m.from] && m.from != m.to) {
+        b.metrics->count_eclipsed();
+        continue;
+      }
+      if (drop_sampled(b)) {
+        b.metrics->count_dropped();
+        continue;
+      }
+      (*b.inboxes)[m.to].deliver(std::move(m));
+    }
+  }
+
+  DeliverySpec spec_;
+  std::vector<bool> victim_;
+  std::vector<bool> allowed_;
+};
+
+// ---------------------------------------------------------------------------
+// PartitionDelivery: while active, messages crossing the
+// id < partition_split cut are suppressed in both directions (a partition
+// is mutual eclipse, so the cuts land on the eclipsed counter).
+
+class PartitionDelivery final : public DeliveryPolicy {
+ public:
+  explicit PartitionDelivery(DeliverySpec spec) : spec_(std::move(spec)) {}
+
+  void deliver_beat(DeliveryBeat& b) override {
+    const bool active = b.beat < spec_.heal_at;
+    if (b.sample_drops) reserve_pre_drop(b);
+    deliver_filtered(b, *b.correct_msgs, active);
+    deliver_filtered(b, *b.adv_msgs, active);
+    if (b.network_faulty) inject_phantoms(b);
+  }
+
+ private:
+  void deliver_filtered(DeliveryBeat& b, std::vector<Message>& msgs,
+                        bool active) {
+    const std::uint32_t split = spec_.partition_split;
+    for (Message& m : msgs) {
+      if ((*b.is_faulty)[m.to]) continue;
+      if (active && (m.from < split) != (m.to < split)) {
+        b.metrics->count_eclipsed();
+        continue;
+      }
+      if (drop_sampled(b)) {
+        b.metrics->count_dropped();
+        continue;
+      }
+      (*b.inboxes)[m.to].deliver(std::move(m));
+    }
+  }
+
+  DeliverySpec spec_;
+};
+
+// ---------------------------------------------------------------------------
+// TargetedDelayDelivery: messages to victims that survive the loss lottery
+// are parked — pooled payload handles and all — in a delay_beats-slot ring
+// and delivered exactly delay_beats beats later, first in their arrival
+// beat (they are the oldest traffic). Per-sender order is preserved: every
+// victim-addressed message takes the same constant detour, and within one
+// ring slot the park order is the send order. After heal_at new messages
+// flow synchronously; already-parked ones still arrive late. The ring
+// bounds pool demand at delay_beats x one beat's victim traffic, so the
+// steady state stays allocation-free once the slot capacities settle.
+
+class TargetedDelayDelivery final : public DeliveryPolicy {
+ public:
+  explicit TargetedDelayDelivery(DeliverySpec spec) : spec_(std::move(spec)) {
+    ring_.resize(spec_.delay_beats);
+  }
+
+  void bind(std::uint32_t n, std::uint32_t) override {
+    victim_.assign(n, false);
+    for (NodeId v : spec_.victims) victim_[v] = true;
+  }
+
+  void deliver_beat(DeliveryBeat& b) override {
+    // Due messages (parked delay_beats ago) arrive ahead of this beat's
+    // traffic. The freed slot is exactly the one this beat parks into:
+    // beat % d == (beat - d) % d.
+    std::vector<Message>& slot = ring_[b.beat % spec_.delay_beats];
+    const bool active = b.beat < spec_.heal_at;
+    // Under a lossy network every capacity must track a deterministic
+    // pre-drop bound, never the random survivor counts: victim inboxes
+    // take the flushed backlog on top of the beat's addressed traffic,
+    // and the freed ring slot refills with this beat's victim traffic.
+    if (b.sample_drops) {
+      reserve_with_backlog(b, slot.size());
+    }
+    for (Message& m : slot) {
+      (*b.inboxes)[m.to].deliver(std::move(m));
+    }
+    slot.clear();  // capacity persists; handles were moved out
+    if (active && b.sample_drops) {
+      const std::vector<std::uint32_t>& addressed = *b.addressed_scratch;
+      std::size_t victim_msgs = 0;
+      for (NodeId id : *b.correct_ids) {
+        if (victim_[id]) victim_msgs += addressed[id];
+      }
+      slot.reserve(victim_msgs);
+    }
+    route(b, *b.correct_msgs, slot, active);
+    route(b, *b.adv_msgs, slot, active);
+    if (b.network_faulty) inject_phantoms(b);
+  }
+
+ private:
+  // reserve_pre_drop, plus the parked backlog a victim's inbox is about
+  // to receive on top of its addressed count.
+  void reserve_with_backlog(DeliveryBeat& b, std::size_t backlog) {
+    std::vector<std::uint32_t>& addressed = *b.addressed_scratch;
+    addressed.assign(b.n, 0);
+    for (const Message& m : *b.correct_msgs) ++addressed[m.to];
+    for (const Message& m : *b.adv_msgs) ++addressed[m.to];
+    for (NodeId id : *b.correct_ids) {
+      const std::size_t extra = victim_[id] ? backlog : 0;
+      (*b.inboxes)[id].reserve(addressed[id] + extra +
+                               b.faults->phantoms_per_beat);
+    }
+  }
+
+  void route(DeliveryBeat& b, std::vector<Message>& msgs,
+             std::vector<Message>& park, bool active) {
+    for (Message& m : msgs) {
+      if ((*b.is_faulty)[m.to]) continue;
+      if (drop_sampled(b)) {
+        b.metrics->count_dropped();
+        continue;
+      }
+      if (active && victim_[m.to]) {
+        b.metrics->count_delayed();
+        park.push_back(std::move(m));  // handle rides across beats
+        continue;
+      }
+      (*b.inboxes)[m.to].deliver(std::move(m));
+    }
+  }
+
+  DeliverySpec spec_;
+  std::vector<bool> victim_;
+  std::vector<std::vector<Message>> ring_;  // slot beat % d: due at beat
+};
+
+// ---------------------------------------------------------------------------
+// ReorderDelivery: every message that survives the loss lottery lands in a
+// scratch buffer; a Fisher-Yates permutation drawn from net_rng decides
+// the beat's arrival order. This exercises the Inbox canonical-ordering
+// contract (per-channel views sort by sender id, duplicates keep arrival
+// order) — protocols reading first_per_sender see a different duplicate
+// win when a Byzantine sender equivocates. Phantoms are injected after
+// the shuffle, in node order, as always.
+
+class ReorderDelivery final : public DeliveryPolicy {
+ public:
+  explicit ReorderDelivery(DeliverySpec spec) : spec_(std::move(spec)) {}
+
+  void deliver_beat(DeliveryBeat& b) override {
+    if (b.sample_drops) {
+      reserve_pre_drop(b);
+      // The shuffle scratch also sizes to the pre-drop bound, so its
+      // capacity never chases random survivor peaks.
+      std::size_t total = 0;
+      for (NodeId id : *b.correct_ids) {
+        total += (*b.addressed_scratch)[id];
+      }
+      scratch_.reserve(total);
+      order_.reserve(total);
+    }
+    collect(b, *b.correct_msgs);
+    collect(b, *b.adv_msgs);
+    if (b.beat < spec_.heal_at && scratch_.size() > 1) {
+      order_.resize(scratch_.size());
+      for (std::size_t i = 0; i < order_.size(); ++i) {
+        order_[i] = static_cast<std::uint32_t>(i);
+      }
+      for (std::size_t i = scratch_.size() - 1; i > 0; --i) {
+        const std::size_t j =
+            static_cast<std::size_t>(b.net_rng->next_below(i + 1));
+        std::swap(scratch_[i], scratch_[j]);
+        std::swap(order_[i], order_[j]);
+      }
+      for (std::size_t i = 0; i < order_.size(); ++i) {
+        if (order_[i] != i) b.metrics->count_reordered();
+      }
+    }
+    for (Message& m : scratch_) {
+      (*b.inboxes)[m.to].deliver(std::move(m));
+    }
+    scratch_.clear();
+    if (b.network_faulty) inject_phantoms(b);
+  }
+
+ private:
+  void collect(DeliveryBeat& b, std::vector<Message>& msgs) {
+    for (Message& m : msgs) {
+      if ((*b.is_faulty)[m.to]) continue;
+      if (drop_sampled(b)) {
+        b.metrics->count_dropped();
+        continue;
+      }
+      scratch_.push_back(std::move(m));
+    }
+  }
+
+  DeliverySpec spec_;
+  std::vector<Message> scratch_;        // survivors, pre-permutation order
+  std::vector<std::uint32_t> order_;    // original index, for the counter
+};
+
+}  // namespace
+
+std::unique_ptr<DeliveryPolicy> make_delivery_policy(
+    const DeliverySpec& spec) {
+  switch (spec.kind) {
+    case DeliveryKind::kSynchronous:
+      return std::make_unique<SynchronousDelivery>();
+    case DeliveryKind::kEclipse:
+      return std::make_unique<EclipseDelivery>(spec);
+    case DeliveryKind::kPartition:
+      return std::make_unique<PartitionDelivery>(spec);
+    case DeliveryKind::kTargetedDelay:
+      return std::make_unique<TargetedDelayDelivery>(spec);
+    case DeliveryKind::kReorder:
+      return std::make_unique<ReorderDelivery>(spec);
+  }
+  SSBFT_CHECK(false);
+  return std::make_unique<SynchronousDelivery>();
+}
+
+const char* delivery_kind_name(DeliveryKind k) {
+  switch (k) {
+    case DeliveryKind::kSynchronous: return "synchronous";
+    case DeliveryKind::kEclipse: return "eclipse";
+    case DeliveryKind::kPartition: return "partition";
+    case DeliveryKind::kTargetedDelay: return "targeted-delay";
+    case DeliveryKind::kReorder: return "reorder";
+  }
+  return "?";
+}
+
+}  // namespace ssbft

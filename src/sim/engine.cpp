@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/delivery.h"
 #include "support/check.h"
 
 namespace ssbft {
@@ -53,7 +54,8 @@ Engine::Engine(EngineConfig cfg, const ProtocolFactory& factory,
   SSBFT_REQUIRE(cfg_.n >= 1);
   SSBFT_REQUIRE_MSG(adversary_ != nullptr || cfg_.faulty.empty(),
                     "faulty nodes present but no adversary supplied");
-  cfg_.faults.validate();
+  cfg_.faults.validate(cfg_.n);
+  delivery_ = make_delivery_policy(cfg_.faults.delivery);
   is_faulty_.assign(cfg_.n, false);
   for (NodeId id : cfg_.faulty) {
     SSBFT_REQUIRE(id < cfg_.n);
@@ -80,6 +82,7 @@ Engine::Engine(EngineConfig cfg, const ProtocolFactory& factory,
   if (cfg_.track_channel_bytes) {
     channel_bytes_.assign(channel_count_, 0);
   }
+  delivery_->bind(cfg_.n, channel_count_);
   // Send phases write straight into the beat scratch; no drain pass.
   outbox_.bind_sink(&correct_msgs_);
 }
@@ -165,23 +168,31 @@ void Engine::run_beat() {
     metrics_.count_adversary_bulk(adv_msgs_.size(), adv_bytes);
   }
 
-  // 3. Delivery (with network faults during the faulty prefix). Inboxes
-  //    were cleared at the end of the previous beat. Under a lossy network
-  //    the delivered count per inbox is random, so pre-reserve to the
-  //    deterministic pre-drop addressed count — otherwise inbox capacity
-  //    chases record peaks and the steady state would keep allocating.
+  // 3. Delivery, run by the configured DeliveryPolicy (sim/delivery.h).
+  //    Inboxes were cleared at the end of the previous beat. The per-beat
+  //    drop decision is hoisted here — policies never re-derive it per
+  //    message. Suppressed (dropped/eclipsed) messages keep their payload
+  //    handle in the beat scratch until the end-of-beat reset below;
+  //    deferring policies park handles in their own cross-beat buffers.
   const bool network_faulty = beat_ < cfg_.faults.network_faulty_until;
-  if (network_faulty && cfg_.faults.faulty_drop_prob > 0.0) {
-    addressed_.assign(cfg_.n, 0);
-    for (const Message& m : correct_msgs_) ++addressed_[m.to];
-    for (const Message& m : adv_msgs_) ++addressed_[m.to];
-    for (NodeId id : correct_ids_) {
-      inboxes_[id].reserve(addressed_[id] + cfg_.faults.phantoms_per_beat);
-    }
-  }
-  deliver(correct_msgs_, net_rng_, network_faulty);
-  deliver(adv_msgs_, net_rng_, network_faulty);
-  if (network_faulty) inject_phantoms(net_rng_);
+  DeliveryBeat db;
+  db.beat = beat_;
+  db.network_faulty = network_faulty;
+  db.sample_drops = network_faulty && cfg_.faults.faulty_drop_prob > 0.0;
+  db.drop_prob = cfg_.faults.faulty_drop_prob;
+  db.n = cfg_.n;
+  db.channel_count = channel_count_;
+  db.faults = &cfg_.faults;
+  db.is_faulty = &is_faulty_;
+  db.correct_ids = &correct_ids_;
+  db.correct_msgs = &correct_msgs_;
+  db.adv_msgs = &adv_msgs_;
+  db.inboxes = &inboxes_;
+  db.net_rng = &net_rng_;
+  db.metrics = &metrics_;
+  db.phantom_pool = &phantom_pool_;
+  db.addressed_scratch = &addressed_;
+  delivery_->deliver_beat(db);
 
   // 4. Receive phases.
   for (NodeId id : correct_ids_) {
@@ -205,62 +216,6 @@ void Engine::run_beat() {
 
 void Engine::run_beats(std::uint64_t count) {
   for (std::uint64_t i = 0; i < count; ++i) run_beat();
-}
-
-void Engine::deliver(std::vector<Message>& msgs, Rng& net_rng,
-                     bool network_faulty) {
-  // Dropped messages keep their handle in the beat scratch until the
-  // end-of-beat reset (see run_beat): releasing mid-beat would make the
-  // pool's slot demand depend on the random drop pattern, and the pool
-  // would keep growing on every new record peak instead of settling.
-  for (Message& m : msgs) {
-    if (is_faulty_[m.to]) continue;  // faulty inboxes live in the adversary
-    if (network_faulty && cfg_.faults.faulty_drop_prob > 0.0 &&
-        net_rng.next_bernoulli(cfg_.faults.faulty_drop_prob)) {
-      metrics_.count_dropped();
-      continue;
-    }
-    inboxes_[m.to].deliver(std::move(m));
-  }
-}
-
-void Engine::inject_phantoms(Rng& net_rng) {
-  // Phantom messages: leftovers in network buffers from before the system
-  // became coherent. They carry arbitrary (but unforged-looking) sender
-  // ids, channels and payloads.
-  for (NodeId id : correct_ids_) {
-    for (std::uint32_t i = 0; i < cfg_.faults.phantoms_per_beat; ++i) {
-      Message m;
-      m.from = static_cast<NodeId>(net_rng.next_below(cfg_.n));
-      m.to = id;
-      m.channel = static_cast<ChannelId>(
-          net_rng.next_below(std::max<std::uint32_t>(channel_count_, 1)));
-      // Widened before the +1: a phantom_max_len at the type's maximum must
-      // not wrap the bound to zero.
-      const std::uint64_t len = net_rng.next_below(
-          static_cast<std::uint64_t>(cfg_.faults.phantom_max_len) + 1);
-      m.payload = phantom_pool_.acquire();
-      Bytes& buf = m.payload.mutable_bytes();
-      // Reserve the maximum once per slot: phantom lengths are random, and
-      // growing to a fresh record length must not allocate in the steady
-      // state.
-      buf.reserve(cfg_.faults.phantom_max_len);
-      buf.resize(static_cast<std::size_t>(len));
-      // Bulk fill: one next_u64 draw per 8 payload bytes (little-endian,
-      // a partial final draw spends its low bytes first). The draw
-      // sequence is part of the replay contract: ceil(len/8) next_u64
-      // draws per phantom, after the from/channel/len draws above.
-      for (std::size_t off = 0; off < buf.size(); off += 8) {
-        std::uint64_t word = net_rng.next_u64();
-        const std::size_t chunk = std::min<std::size_t>(8, buf.size() - off);
-        for (std::size_t b = 0; b < chunk; ++b) {
-          buf[off + b] = static_cast<std::uint8_t>(word >> (8 * b));
-        }
-      }
-      metrics_.count_phantom();
-      inboxes_[id].deliver(std::move(m));
-    }
-  }
 }
 
 }  // namespace ssbft

@@ -15,6 +15,8 @@
 
 namespace ssbft {
 
+class DeliveryPolicy;  // sim/delivery.h
+
 // Hook invoked at the start of every beat, before any send phase. Used by
 // environment-level components such as the oracle coin beacon.
 class BeatListener {
@@ -88,7 +90,10 @@ class Engine {
   // Cumulative correct-node sent bytes per channel id (empty unless
   // EngineConfig::track_channel_bytes). Entry ch covers every message a
   // correct node emitted on channel ch, broadcasts counted once per
-  // recipient — the same wire-byte semantics as Metrics.
+  // recipient — the same wire-byte semantics as Metrics. Scope: correct-
+  // sender traffic only (no adversary or phantom bytes), accumulated at
+  // send time — before the delivery policy runs — so drops, eclipses and
+  // delays never change what a protocol is charged for.
   const std::vector<std::uint64_t>& channel_bytes() const {
     return channel_bytes_;
   }
@@ -99,12 +104,6 @@ class Engine {
   void add_listener(BeatListener* l) { listeners_.push_back(l); }
 
  private:
-  // Moves each message (payload handle included) into the target inbox;
-  // dropped messages keep their handle in the beat scratch until the
-  // end-of-beat reset (deterministic pool demand — see run_beat).
-  void deliver(std::vector<Message>& msgs, Rng& net_rng, bool network_faulty);
-  void inject_phantoms(Rng& net_rng);
-
   EngineConfig cfg_;
   Beat beat_ = 0;
   std::vector<bool> is_faulty_;
@@ -116,6 +115,11 @@ class Engine {
   // random phantom sizes neither allocate in the steady state nor inflate
   // the protocol-payload slots of pool_.
   BytesPool phantom_pool_;
+  // The delivery phase of run_beat (sim/delivery.h), chosen by
+  // FaultPlan::delivery. Declared after the pools: a deferring policy
+  // parks pooled payload handles across beats, so it must be destroyed
+  // before the pools it borrows slots from.
+  std::unique_ptr<DeliveryPolicy> delivery_;
   std::vector<Inbox> inboxes_;                        // per node id
   std::unique_ptr<Adversary> adversary_;
   std::uint32_t channel_count_ = 0;

@@ -3,7 +3,10 @@
 // Models the paper's failure assumptions beyond Byzantine nodes: arbitrary
 // memory corruption of non-faulty nodes, and a communication network that
 // may deliver "phantom" messages / lose messages until it becomes non-faulty
-// (Definition 2.2 and the surrounding discussion).
+// (Definition 2.2 and the surrounding discussion). The DeliverySpec extends
+// the network axis with adversarial *scheduling* power — who receives which
+// message, when — the dimension Lewko (arXiv:1106.5170, arXiv:1301.3223)
+// identifies as what actually separates BA protocols.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +17,80 @@
 #include "support/types.h"
 
 namespace ssbft {
+
+// Which delivery engine runs the network between the send and receive
+// phases of a beat (policies live in sim/delivery.h; this enum is the
+// sweepable spec field).
+enum class DeliveryKind : std::uint8_t {
+  kSynchronous,    // every surviving message arrives in its send beat
+  kEclipse,        // victims hear only an allowlist of senders until heal_at
+  kPartition,      // no cross-group delivery until heal_at
+  kTargetedDelay,  // messages to victims arrive delay_beats beats late
+  kReorder,        // rng-permuted arrival order within each beat
+};
+
+// Fully-specified delivery adversary, a value type so scenario worlds can
+// sweep it like every other fault axis. Interpreted by
+// make_delivery_policy (sim/delivery.h).
+struct DeliverySpec {
+  // heal_at value meaning "the topology adversary never stops".
+  static constexpr Beat kNever = ~Beat{0};
+  // Largest supported targeted delay. The pending buffer holds
+  // delay_beats x one beat's victim traffic in pooled handles, so the
+  // bound keeps the policy's steady-state memory a sane multiple of the
+  // per-beat traffic shape.
+  static constexpr std::uint32_t kMaxDelayBeats = 1u << 12;
+
+  DeliveryKind kind = DeliveryKind::kSynchronous;
+  // kEclipse / kTargetedDelay: the targeted (victim) node ids.
+  std::vector<NodeId> victims;
+  // kEclipse: senders a victim still hears while eclipsed. A victim
+  // always hears itself (loopback is local, not network traffic).
+  std::vector<NodeId> allowed_senders;
+  // kPartition: nodes with id < partition_split form group 0, the rest
+  // group 1. Must cut the system into two non-empty groups.
+  std::uint32_t partition_split = 0;
+  // First beat at which the topology adversary stops: the eclipse lifts,
+  // the partition heals, the delay stops holding *new* messages (already
+  // held ones still arrive late). kNever = active for the whole run.
+  Beat heal_at = kNever;
+  // kTargetedDelay: beats a victim-addressed message is held (>= 1).
+  std::uint32_t delay_beats = 1;
+
+  void validate(std::uint32_t n) const {
+    for (NodeId v : victims) {
+      SSBFT_REQUIRE_MSG(v < n, "delivery victim id " << v
+                                   << " out of range for n = " << n);
+    }
+    for (NodeId s : allowed_senders) {
+      SSBFT_REQUIRE_MSG(s < n, "delivery allowed-sender id "
+                                   << s << " out of range for n = " << n);
+    }
+    switch (kind) {
+      case DeliveryKind::kSynchronous:
+      case DeliveryKind::kReorder:
+        break;
+      case DeliveryKind::kEclipse:
+        SSBFT_REQUIRE_MSG(!victims.empty(),
+                          "eclipse delivery needs at least one victim");
+        break;
+      case DeliveryKind::kPartition:
+        SSBFT_REQUIRE_MSG(partition_split >= 1 && partition_split < n,
+                          "partition_split " << partition_split
+                                             << " must cut n = " << n
+                                             << " into two non-empty groups");
+        break;
+      case DeliveryKind::kTargetedDelay:
+        SSBFT_REQUIRE_MSG(!victims.empty(),
+                          "targeted-delay delivery needs at least one victim");
+        SSBFT_REQUIRE_MSG(delay_beats >= 1 && delay_beats <= kMaxDelayBeats,
+                          "delay_beats " << delay_beats
+                                         << " out of [1, " << kMaxDelayBeats
+                                         << "]");
+        break;
+    }
+  }
+};
 
 struct FaultPlan {
   // Start every node from an arbitrary memory state. This is the default
@@ -35,6 +112,11 @@ struct FaultPlan {
   // Probability that a real message is dropped during a faulty-network beat.
   double faulty_drop_prob = 0.0;
 
+  // The delivery adversary (default: synchronous, the paper's network).
+  // Orthogonal to the loss/phantom axes above: drops and phantoms apply
+  // under every delivery policy.
+  DeliverySpec delivery;
+
   // Largest phantom payload a plan may ask for (1 MiB). Far beyond any
   // protocol's real message size, yet small enough that the sampling bound
   // `phantom_max_len + 1` (computed in 64 bits — the engine widens before
@@ -42,14 +124,24 @@ struct FaultPlan {
   // zero) never asks the simulator for a pathological allocation.
   static constexpr std::uint32_t kMaxPhantomLen = 1u << 20;
 
-  // Engine-checked sanity of the plan.
-  void validate() const {
+  // Engine-checked sanity of the plan against the world size n: value
+  // ranges, scheduled-corruption ids (an id >= n would index the engine's
+  // fault mask out of bounds) and the delivery spec.
+  void validate(std::uint32_t n) const {
     SSBFT_REQUIRE_MSG(faulty_drop_prob >= 0.0 && faulty_drop_prob <= 1.0,
                       "faulty_drop_prob must be a probability");
     SSBFT_REQUIRE_MSG(phantom_max_len <= kMaxPhantomLen,
                       "phantom_max_len " << phantom_max_len
                                          << " exceeds the sane bound "
                                          << kMaxPhantomLen);
+    for (const auto& [beat, ids] : corruptions) {
+      for (NodeId id : ids) {
+        SSBFT_REQUIRE_MSG(id < n, "corruption schedule at beat "
+                                      << beat << " names node " << id
+                                      << ", out of range for n = " << n);
+      }
+    }
+    delivery.validate(n);
   }
 };
 

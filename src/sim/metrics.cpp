@@ -51,6 +51,21 @@ void Metrics::count_dropped() {
   ++total_.dropped_messages;
 }
 
+void Metrics::count_eclipsed() {
+  ++current().eclipsed_messages;
+  ++total_.eclipsed_messages;
+}
+
+void Metrics::count_delayed() {
+  ++current().delayed_messages;
+  ++total_.delayed_messages;
+}
+
+void Metrics::count_reordered() {
+  ++current().reordered_messages;
+  ++total_.reordered_messages;
+}
+
 void Metrics::count_correct_bulk(std::uint64_t messages, std::uint64_t bytes) {
   BeatTraffic& cur = current();
   cur.correct_messages += messages;

@@ -23,6 +23,14 @@ struct BeatTraffic {
   // Messages lost to the faulty network (FaultPlan::faulty_drop_prob),
   // correct-node and adversary traffic alike.
   std::uint64_t dropped_messages = 0;
+  // Messages suppressed by a topology policy — an eclipse allowlist or a
+  // partition cut (sim/delivery.h) — before the drop lottery.
+  std::uint64_t eclipsed_messages = 0;
+  // Messages held back by a targeted-delay policy, counted at hold time
+  // (they are delivered, late, in a later beat's traffic).
+  std::uint64_t delayed_messages = 0;
+  // Messages a reorder policy displaced from their arrival position.
+  std::uint64_t reordered_messages = 0;
 };
 
 class Metrics {
@@ -38,6 +46,9 @@ class Metrics {
   void count_adversary(std::size_t payload_bytes);
   void count_phantom();
   void count_dropped();
+  void count_eclipsed();
+  void count_delayed();
+  void count_reordered();
   // Bulk variants: one call per (node, beat) instead of one per message.
   void count_correct_bulk(std::uint64_t messages, std::uint64_t bytes);
   void count_adversary_bulk(std::uint64_t messages, std::uint64_t bytes);

@@ -168,6 +168,32 @@ TEST(AllocationFreeBeat, BroadcastsDropsPhantomsAndFaultyRecipients) {
          "heap";
 }
 
+// A deferring delivery policy parks pooled payload handles across beats in
+// its pending ring. Once the ring slots, the pools and the inbox buckets
+// have settled, a warm beat — flush due traffic, sample drops, park the
+// victims' messages, inject phantoms — must still not touch the heap.
+TEST(AllocationFreeBeat, TargetedDelayDeliveryWithDropsAndPhantoms) {
+  EngineConfig cfg;
+  cfg.n = 16;
+  cfg.f = 5;
+  cfg.faulty = EngineConfig::last_ids_faulty(16, 5);
+  cfg.seed = 8;
+  cfg.metrics_history_limit = 8;
+  cfg.faults.network_faulty_until = ~std::uint64_t{0};
+  cfg.faults.faulty_drop_prob = 0.2;
+  cfg.faults.phantoms_per_beat = 3;
+  cfg.faults.phantom_max_len = 48;
+  cfg.faults.delivery.kind = DeliveryKind::kTargetedDelay;
+  cfg.faults.delivery.victims = {0, 1, 2};
+  cfg.faults.delivery.delay_beats = 3;
+  Engine eng(cfg, steady_factory(), std::make_unique<BroadcastingAdversary>());
+  eng.run_beats(64);  // ring slots and pool demand settle
+  const std::size_t before = g_allocations;
+  eng.run_beats(32);
+  EXPECT_EQ(g_allocations - before, 0u)
+      << "steady-state beat under delayed delivery touched the heap";
+}
+
 TEST(AllocationFreeBeat, WithAdversary) {
   EngineConfig cfg;
   cfg.n = 16;

@@ -1,0 +1,421 @@
+// Tests for the pluggable delivery engine (sim/delivery.h): replay
+// exactness of the default synchronous policy against pre-extraction
+// goldens, the semantics of the eclipse / partition / targeted-delay /
+// reorder adversaries, and FaultPlan validation of delivery specs and
+// corruption schedules.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "adversary/adversaries.h"
+#include "coin/oracle_coin.h"
+#include "core/clock_sync.h"
+#include "sim/delivery.h"
+#include "sim/engine.h"
+#include "support/check.h"
+
+namespace ssbft {
+namespace {
+
+// Broadcasts (self, beat, seq) x sends_per_beat each beat and records every
+// arrival in inbox-canonical order (sender id asc, arrival order within a
+// sender) — enough to observe delay, partition cuts and reordering.
+struct Arrival {
+  Beat recv_beat;
+  NodeId from;
+  std::uint64_t sent_beat;
+  std::uint32_t seq;
+};
+
+class ProbeProtocol final : public ClockProtocol {
+ public:
+  ProbeProtocol(const ProtocolEnv& env, std::uint32_t sends_per_beat)
+      : env_(env), sends_per_beat_(sends_per_beat) {}
+
+  void send_phase(Outbox& out) override {
+    for (std::uint32_t seq = 0; seq < sends_per_beat_; ++seq) {
+      ByteWriter w;
+      w.u64(beat_);
+      w.u32(seq);
+      out.broadcast(0, w.data());
+    }
+  }
+
+  void receive_phase(const Inbox& in) override {
+    for (const Message& m : in.on(0)) {
+      ByteReader r(m.payload);
+      const std::uint64_t sent_beat = r.u64();
+      const std::uint32_t seq = r.u32();
+      arrivals_.push_back(Arrival{beat_, m.from, sent_beat, seq});
+    }
+    ++beat_;
+  }
+
+  void randomize_state(Rng&) override {}
+  ClockValue clock() const override { return beat_ % 4; }
+  ClockValue modulus() const override { return 4; }
+  std::uint32_t channel_count() const override { return 1; }
+
+  // Arrivals of one beat, in inbox-canonical order.
+  std::vector<Arrival> beat_arrivals(Beat b) const {
+    std::vector<Arrival> out;
+    for (const Arrival& a : arrivals_) {
+      if (a.recv_beat == b) out.push_back(a);
+    }
+    return out;
+  }
+
+  ProtocolEnv env_;
+  std::uint32_t sends_per_beat_;
+  Beat beat_ = 0;
+  std::vector<Arrival> arrivals_;
+};
+
+ProtocolFactory probe_factory(std::uint32_t sends_per_beat = 1) {
+  return [sends_per_beat](const ProtocolEnv& env, Rng) {
+    return std::make_unique<ProbeProtocol>(env, sends_per_beat);
+  };
+}
+
+EngineConfig probe_config(std::uint32_t n) {
+  EngineConfig cfg;
+  cfg.n = n;
+  cfg.f = 0;
+  cfg.faults.randomize_genesis = false;
+  return cfg;
+}
+
+const ProbeProtocol& probe(const Engine& eng, NodeId id) {
+  return dynamic_cast<const ProbeProtocol&>(eng.node(id));
+}
+
+std::set<NodeId> senders_at(const ProbeProtocol& p, Beat b) {
+  std::set<NodeId> out;
+  for (const Arrival& a : p.beat_arrivals(b)) out.insert(a.from);
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Replay exactness: the default SynchronousDelivery must reproduce the
+// pre-extraction engine bit for bit. The constants below were captured by
+// running exactly this world — mixed drops + phantoms + scheduled
+// corruption + random-noise adversary over the full clock-sync protocol —
+// against the engine as of PR 5, before the delivery phase moved behind
+// DeliveryPolicy. Every net_rng draw (drop lotteries, phantom from /
+// channel / len / payload words) must land in the same sequence for these
+// to hold.
+
+TEST(SynchronousDelivery, ReplayExactWithPreExtractionEngine) {
+  EngineConfig cfg;
+  cfg.n = 7;
+  cfg.f = 2;
+  cfg.faulty = EngineConfig::last_ids_faulty(7, 2);
+  cfg.seed = 20260808;
+  cfg.faults.network_faulty_until = 30;
+  cfg.faults.faulty_drop_prob = 0.25;
+  cfg.faults.phantoms_per_beat = 3;
+  cfg.faults.phantom_max_len = 48;
+  cfg.faults.corruptions[12] = {0, 2};
+
+  auto beacon = std::make_shared<OracleBeacon>(
+      7, OracleCoinParams{0.45, 0.45}, Rng(cfg.seed).split("beacon"));
+  CoinSpec spec = oracle_coin_spec(beacon);
+  auto factory = [&spec](const ProtocolEnv& env, Rng rng) {
+    return std::make_unique<SsByzClockSync>(env, 8, spec, rng);
+  };
+  Engine eng(cfg, factory, make_random_noise_adversary(6, 40));
+  eng.add_listener(beacon.get());
+  eng.run_beats(60);
+
+  const BeatTraffic& t = eng.metrics().total();
+  EXPECT_EQ(t.correct_messages, 4564u);
+  EXPECT_EQ(t.correct_bytes, 14532u);
+  EXPECT_EQ(t.adversary_messages, 720u);
+  EXPECT_EQ(t.adversary_bytes, 13942u);
+  EXPECT_EQ(t.phantom_messages, 450u);
+  EXPECT_EQ(t.dropped_messages, 450u);
+  // The new counters stay untouched on the synchronous path.
+  EXPECT_EQ(t.eclipsed_messages, 0u);
+  EXPECT_EQ(t.delayed_messages, 0u);
+  EXPECT_EQ(t.reordered_messages, 0u);
+  EXPECT_EQ(eng.correct_clocks(),
+            (std::vector<ClockValue>{7, 7, 7, 7, 7}));
+  const std::vector<std::uint64_t> want_drops{14, 16, 18, 19, 8,
+                                              15, 13, 14, 14, 21};
+  for (std::size_t i = 0; i < want_drops.size(); ++i) {
+    EXPECT_EQ(eng.metrics().history()[i].dropped_messages, want_drops[i])
+        << "beat " << i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// TargetedDelayDelivery
+
+TEST(TargetedDelayDelivery, DeliversExactlyDelayBeatsLate) {
+  EngineConfig cfg = probe_config(4);
+  cfg.faults.delivery.kind = DeliveryKind::kTargetedDelay;
+  cfg.faults.delivery.victims = {0};
+  cfg.faults.delivery.delay_beats = 2;
+  auto eng = Engine(cfg, probe_factory(/*sends_per_beat=*/3), nullptr);
+  eng.run_beats(6);
+
+  // Non-victims see everything in the send beat.
+  for (NodeId id : {NodeId{1}, NodeId{2}, NodeId{3}}) {
+    for (Beat b = 0; b < 6; ++b) {
+      const auto arr = probe(eng, id).beat_arrivals(b);
+      ASSERT_EQ(arr.size(), 4u * 3u) << "node " << id << " beat " << b;
+      for (const Arrival& a : arr) EXPECT_EQ(a.sent_beat, b);
+    }
+  }
+  // The victim sees nothing until the first flush, then every beat's
+  // traffic exactly delay_beats late, per-sender send order intact.
+  const ProbeProtocol& victim = probe(eng, 0);
+  EXPECT_TRUE(victim.beat_arrivals(0).empty());
+  EXPECT_TRUE(victim.beat_arrivals(1).empty());
+  for (Beat b = 2; b < 6; ++b) {
+    const auto arr = victim.beat_arrivals(b);
+    ASSERT_EQ(arr.size(), 4u * 3u) << "beat " << b;
+    std::map<NodeId, std::vector<std::uint32_t>> seqs;
+    for (const Arrival& a : arr) {
+      EXPECT_EQ(a.sent_beat, b - 2);
+      seqs[a.from].push_back(a.seq);
+    }
+    ASSERT_EQ(seqs.size(), 4u);
+    for (const auto& [from, s] : seqs) {
+      EXPECT_EQ(s, (std::vector<std::uint32_t>{0, 1, 2}))
+          << "per-sender order broken for sender " << from;
+    }
+  }
+  // 4 senders x 3 sends x 6 beats addressed to the victim, all held.
+  EXPECT_EQ(eng.metrics().total().delayed_messages, 4u * 3u * 6u);
+}
+
+TEST(TargetedDelayDelivery, HealStopsHoldingNewTraffic) {
+  EngineConfig cfg = probe_config(4);
+  cfg.faults.delivery.kind = DeliveryKind::kTargetedDelay;
+  cfg.faults.delivery.victims = {0};
+  cfg.faults.delivery.delay_beats = 2;
+  cfg.faults.delivery.heal_at = 4;
+  auto eng = Engine(cfg, probe_factory(), nullptr);
+  eng.run_beats(7);
+
+  // Per-beat arrival counts at the victim: beats 0-3 hold, so beat b >= 2
+  // flushes beat b-2; from heal_at on, fresh traffic also flows
+  // synchronously, overlapping with the last two flushes.
+  const ProbeProtocol& victim = probe(eng, 0);
+  const std::vector<std::size_t> want_counts{0, 0, 4, 4, 8, 8, 4};
+  for (Beat b = 0; b < 7; ++b) {
+    const auto arr = victim.beat_arrivals(b);
+    EXPECT_EQ(arr.size(), want_counts[b]) << "beat " << b;
+    for (const Arrival& a : arr) {
+      EXPECT_TRUE(a.sent_beat == b || a.sent_beat + 2 == b)
+          << "beat " << b << " got sent_beat " << a.sent_beat;
+    }
+  }
+  EXPECT_EQ(eng.metrics().total().delayed_messages, 4u * 4u);  // beats 0-3
+}
+
+// ---------------------------------------------------------------------
+// PartitionDelivery
+
+TEST(PartitionDelivery, HealsAtScheduledBeat) {
+  EngineConfig cfg = probe_config(5);
+  cfg.faults.delivery.kind = DeliveryKind::kPartition;
+  cfg.faults.delivery.partition_split = 2;  // {0,1} | {2,3,4}
+  cfg.faults.delivery.heal_at = 3;
+  auto eng = Engine(cfg, probe_factory(), nullptr);
+  eng.run_beats(5);
+
+  for (Beat b = 0; b < 3; ++b) {
+    EXPECT_EQ(senders_at(probe(eng, 1), b), (std::set<NodeId>{0, 1}));
+    EXPECT_EQ(senders_at(probe(eng, 3), b), (std::set<NodeId>{2, 3, 4}));
+  }
+  for (Beat b = 3; b < 5; ++b) {
+    EXPECT_EQ(senders_at(probe(eng, 1), b),
+              (std::set<NodeId>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(senders_at(probe(eng, 3), b),
+              (std::set<NodeId>{0, 1, 2, 3, 4}));
+  }
+  // Cross-cut traffic per active beat: 2 senders x 3 targets both ways.
+  EXPECT_EQ(eng.metrics().total().eclipsed_messages, 3u * 12u);
+}
+
+// ---------------------------------------------------------------------
+// EclipseDelivery
+
+TEST(EclipseDelivery, VictimHearsOnlyAllowlistUntilHeal) {
+  EngineConfig cfg = probe_config(4);
+  cfg.faults.delivery.kind = DeliveryKind::kEclipse;
+  cfg.faults.delivery.victims = {0};
+  cfg.faults.delivery.allowed_senders = {2};
+  cfg.faults.delivery.heal_at = 2;
+  auto eng = Engine(cfg, probe_factory(), nullptr);
+  eng.run_beats(4);
+
+  // While eclipsed: the allowlisted sender plus loopback. Non-victims are
+  // untouched.
+  for (Beat b = 0; b < 2; ++b) {
+    EXPECT_EQ(senders_at(probe(eng, 0), b), (std::set<NodeId>{0, 2}));
+    EXPECT_EQ(senders_at(probe(eng, 1), b), (std::set<NodeId>{0, 1, 2, 3}));
+  }
+  for (Beat b = 2; b < 4; ++b) {
+    EXPECT_EQ(senders_at(probe(eng, 0), b), (std::set<NodeId>{0, 1, 2, 3}));
+  }
+  // Suppressed: senders {1, 3} x 2 active beats.
+  EXPECT_EQ(eng.metrics().total().eclipsed_messages, 4u);
+}
+
+// ---------------------------------------------------------------------
+// ReorderDelivery
+
+TEST(ReorderDelivery, PermutesArrivalOrderButKeepsTheSet) {
+  // Same-sender duplicates are the observable: the inbox canonicalizes
+  // across senders but preserves arrival order within one, so a shuffled
+  // beat shows as a permuted seq sequence for some sender.
+  EngineConfig cfg = probe_config(3);
+  cfg.seed = 11;
+  cfg.faults.delivery.kind = DeliveryKind::kReorder;
+  auto eng = Engine(cfg, probe_factory(/*sends_per_beat=*/6), nullptr);
+  eng.run_beats(5);
+
+  bool saw_permutation = false;
+  for (NodeId id : eng.correct_ids()) {
+    for (Beat b = 0; b < 5; ++b) {
+      std::map<NodeId, std::vector<std::uint32_t>> seqs;
+      for (const Arrival& a : probe(eng, id).beat_arrivals(b)) {
+        EXPECT_EQ(a.sent_beat, b);  // reorder never delays across beats
+        seqs[a.from].push_back(a.seq);
+      }
+      ASSERT_EQ(seqs.size(), 3u);  // no message lost
+      for (auto& [from, s] : seqs) {
+        ASSERT_EQ(s.size(), 6u);
+        if (!std::is_sorted(s.begin(), s.end())) saw_permutation = true;
+        std::sort(s.begin(), s.end());
+        EXPECT_EQ(s, (std::vector<std::uint32_t>{0, 1, 2, 3, 4, 5}));
+      }
+    }
+  }
+  EXPECT_TRUE(saw_permutation);
+  EXPECT_GT(eng.metrics().total().reordered_messages, 0u);
+}
+
+TEST(ReorderDelivery, SynchronousBaselineKeepsSendOrder) {
+  // The control for the test above: without the reorder policy, every
+  // sender's duplicates arrive in send order.
+  EngineConfig cfg = probe_config(3);
+  cfg.seed = 11;
+  auto eng = Engine(cfg, probe_factory(/*sends_per_beat=*/6), nullptr);
+  eng.run_beats(5);
+  for (NodeId id : eng.correct_ids()) {
+    for (Beat b = 0; b < 5; ++b) {
+      std::map<NodeId, std::vector<std::uint32_t>> seqs;
+      for (const Arrival& a : probe(eng, id).beat_arrivals(b)) {
+        seqs[a.from].push_back(a.seq);
+      }
+      for (const auto& [from, s] : seqs) {
+        EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+      }
+    }
+  }
+  EXPECT_EQ(eng.metrics().total().reordered_messages, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Delivery policies compose with the loss/phantom axes.
+
+TEST(EclipseDelivery, ComposesWithDropsAndPhantoms) {
+  EngineConfig cfg = probe_config(4);
+  cfg.seed = 7;
+  cfg.faults.network_faulty_until = 3;
+  cfg.faults.faulty_drop_prob = 1.0;  // drop everything the eclipse spares
+  cfg.faults.phantoms_per_beat = 2;
+  cfg.faults.delivery.kind = DeliveryKind::kEclipse;
+  cfg.faults.delivery.victims = {0};
+  cfg.faults.delivery.heal_at = DeliverySpec::kNever;
+  auto eng = Engine(cfg, probe_factory(), nullptr);
+  eng.run_beats(3);
+  const BeatTraffic& t = eng.metrics().total();
+  // Per beat: 4 messages to the victim from others... none (empty
+  // allowlist, loopback only) — 3 eclipsed; the remaining 13 real
+  // messages all hit the p=1 lottery.
+  EXPECT_EQ(t.eclipsed_messages, 3u * 3u);
+  EXPECT_EQ(t.dropped_messages, 3u * 13u);
+  EXPECT_EQ(t.phantom_messages, 3u * 4u * 2u);  // phantoms bypass eclipse
+}
+
+// ---------------------------------------------------------------------
+// Validation: specs and the corruption schedule are checked against the
+// world size at engine construction.
+
+TEST(FaultPlanValidation, CorruptionIdOutOfRangeIsRejected) {
+  // Regression: the corruption schedule used to index the engine's fault
+  // mask unchecked, so an id >= n read out of bounds at the scheduled
+  // beat instead of failing fast at construction.
+  EngineConfig cfg = probe_config(4);
+  cfg.faults.corruptions[5] = {1, 4};  // 4 is out of range for n = 4
+  EXPECT_THROW(Engine(cfg, probe_factory(), nullptr), contract_error);
+}
+
+TEST(DeliverySpecValidation, RejectsMalformedSpecs) {
+  const std::uint32_t n = 4;
+  {
+    DeliverySpec s;
+    s.kind = DeliveryKind::kEclipse;  // no victims
+    EXPECT_THROW(s.validate(n), contract_error);
+  }
+  {
+    DeliverySpec s;
+    s.kind = DeliveryKind::kEclipse;
+    s.victims = {4};  // out of range
+    EXPECT_THROW(s.validate(n), contract_error);
+  }
+  {
+    DeliverySpec s;
+    s.kind = DeliveryKind::kEclipse;
+    s.victims = {0};
+    s.allowed_senders = {9};  // out of range
+    EXPECT_THROW(s.validate(n), contract_error);
+  }
+  {
+    DeliverySpec s;
+    s.kind = DeliveryKind::kPartition;
+    s.partition_split = 0;  // group 0 empty
+    EXPECT_THROW(s.validate(n), contract_error);
+    s.partition_split = n;  // group 1 empty
+    EXPECT_THROW(s.validate(n), contract_error);
+    s.partition_split = 1;
+    s.validate(n);  // ok
+  }
+  {
+    DeliverySpec s;
+    s.kind = DeliveryKind::kTargetedDelay;
+    s.victims = {1};
+    s.delay_beats = 0;
+    EXPECT_THROW(s.validate(n), contract_error);
+    s.delay_beats = DeliverySpec::kMaxDelayBeats + 1;
+    EXPECT_THROW(s.validate(n), contract_error);
+    s.delay_beats = 1;
+    s.validate(n);  // ok
+  }
+}
+
+TEST(DeliverySpecValidation, EngineRejectsBadSpecAtConstruction) {
+  EngineConfig cfg = probe_config(4);
+  cfg.faults.delivery.kind = DeliveryKind::kTargetedDelay;
+  cfg.faults.delivery.victims = {7};  // out of range for n = 4
+  EXPECT_THROW(Engine(cfg, probe_factory(), nullptr), contract_error);
+}
+
+TEST(DeliveryKindName, CoversEveryKind) {
+  EXPECT_STREQ(delivery_kind_name(DeliveryKind::kSynchronous), "synchronous");
+  EXPECT_STREQ(delivery_kind_name(DeliveryKind::kEclipse), "eclipse");
+  EXPECT_STREQ(delivery_kind_name(DeliveryKind::kPartition), "partition");
+  EXPECT_STREQ(delivery_kind_name(DeliveryKind::kTargetedDelay),
+               "targeted-delay");
+  EXPECT_STREQ(delivery_kind_name(DeliveryKind::kReorder), "reorder");
+}
+
+}  // namespace
+}  // namespace ssbft

@@ -80,12 +80,28 @@ TEST(ScenarioRegistry, GlobMatching) {
   EXPECT_EQ(match_scenarios("table1/dw/*").size(), 4u);
   EXPECT_EQ(match_scenarios("gallery/*").size(), 4u);
   EXPECT_TRUE(match_scenarios("zzz/*").empty());
-  // Matches come back in registry (sorted) order.
+  // Matches come back in registry (sorted) order. The net/* block covers
+  // the loss/phantom axes plus the delivery adversaries and their
+  // gallery compositions ('+' sorts before '-' in ASCII).
   const auto matched = match_scenarios("net/*");
-  ASSERT_EQ(matched.size(), 3u);
-  EXPECT_EQ(matched[0]->name, "net/lossy");
-  EXPECT_EQ(matched[1]->name, "net/lossy-phantom");
-  EXPECT_EQ(matched[2]->name, "net/phantom-storm");
+  ASSERT_EQ(matched.size(), 12u);
+  const char* want[] = {
+      "net/baseline",
+      "net/eclipse",
+      "net/eclipse+noise",
+      "net/lossy",
+      "net/lossy-phantom",
+      "net/partition-heal",
+      "net/partition-heal+split",
+      "net/phantom-storm",
+      "net/reorder",
+      "net/reorder+lossy",
+      "net/targeted-delay",
+      "net/targeted-delay+skew",
+  };
+  for (std::size_t i = 0; i < matched.size(); ++i) {
+    EXPECT_EQ(matched[i]->name, want[i]) << "index " << i;
+  }
 }
 
 // ------------------------------------------------------------------- sweep
@@ -142,6 +158,37 @@ TEST(Sweep, BitIdenticalAcrossJobsAndToRunTrials) {
   for (std::size_t c = 0; c < cells.size(); ++c) {
     SCOPED_TRACE(cells[c].name);
     expect_identical(base[c], run_trials(cells[c].builder, cells[c].cfg));
+  }
+}
+
+TEST(Sweep, DeliveryPolicyGridBitIdenticalAcrossJobs) {
+  // The delivery-policy cells carry cross-beat policy state (pending
+  // rings, victim masks); trial isolation and merge order must keep the
+  // sweep bit-identical across scheduler widths regardless.
+  const char* names[] = {"net/eclipse", "net/partition-heal",
+                         "net/targeted-delay"};
+  std::vector<SweepCell> cells;
+  for (const char* name : names) {
+    const ScenarioSpec* spec = find_scenario(name);
+    ASSERT_NE(spec, nullptr);
+    RunnerConfig rc = scenario_runner_config(*spec);
+    rc.trials = 4 + cells.size();  // unequal cell sizes
+    rc.convergence.max_beats = 600;  // well past the heal beat at 40
+    cells.push_back(SweepCell{spec->name, build_scenario(*spec), rc});
+  }
+  SweepOptions serial;
+  serial.jobs = 1;
+  const std::vector<TrialStats> base = run_sweep(cells, serial);
+  ASSERT_EQ(base.size(), cells.size());
+  for (std::uint64_t jobs : {2ULL, 0ULL}) {
+    SweepOptions wide;
+    wide.jobs = jobs;
+    const std::vector<TrialStats> par = run_sweep(cells, wide);
+    ASSERT_EQ(par.size(), base.size());
+    for (std::size_t c = 0; c < base.size(); ++c) {
+      SCOPED_TRACE(cells[c].name + " at jobs " + std::to_string(jobs));
+      expect_identical(base[c], par[c]);
+    }
   }
 }
 
@@ -223,6 +270,51 @@ TEST(Scenario, LossyNetworkScenarioActuallyDrops) {
   b.engine->run_beats(50);
   EXPECT_EQ(b.engine->metrics().total().dropped_messages,
             dropped_while_faulty);
+}
+
+TEST(Scenario, DeliveryCellsCarryTheirSpecs) {
+  const ScenarioSpec* e = find_scenario("net/eclipse");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->world.faults.delivery.kind, DeliveryKind::kEclipse);
+  EXPECT_EQ(e->world.faults.delivery.heal_at, 40u);
+  EXPECT_NE(e->summary.find("eclipse"), std::string::npos);
+
+  const ScenarioSpec* p = find_scenario("net/partition-heal");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->world.faults.delivery.kind, DeliveryKind::kPartition);
+  EXPECT_EQ(p->world.faults.delivery.partition_split, 3u);
+
+  const ScenarioSpec* d = find_scenario("net/targeted-delay");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->world.faults.delivery.kind, DeliveryKind::kTargetedDelay);
+  EXPECT_EQ(d->world.faults.delivery.delay_beats, 2u);
+
+  const ScenarioSpec* r = find_scenario("net/reorder");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->world.faults.delivery.kind, DeliveryKind::kReorder);
+  EXPECT_EQ(r->world.faults.delivery.heal_at, DeliverySpec::kNever);
+
+  // The baseline control row stays on the synchronous default.
+  const ScenarioSpec* base = find_scenario("net/baseline");
+  ASSERT_NE(base, nullptr);
+  EXPECT_EQ(base->world.faults.delivery.kind, DeliveryKind::kSynchronous);
+}
+
+TEST(Scenario, EclipseScenarioActuallySuppresses) {
+  const ScenarioSpec* s = find_scenario("net/eclipse");
+  ASSERT_NE(s, nullptr);
+  EngineBundle b = build_scenario(*s)(s->base_seed);
+  b.engine->run_beats(10);  // inside the eclipse window
+  EXPECT_GT(b.engine->metrics().total().eclipsed_messages, 0u);
+  EXPECT_EQ(b.engine->metrics().total().delayed_messages, 0u);
+}
+
+TEST(Scenario, TargetedDelayScenarioActuallyHolds) {
+  const ScenarioSpec* s = find_scenario("net/targeted-delay");
+  ASSERT_NE(s, nullptr);
+  EngineBundle b = build_scenario(*s)(s->base_seed);
+  b.engine->run_beats(10);
+  EXPECT_GT(b.engine->metrics().total().delayed_messages, 0u);
 }
 
 TEST(Scenario, PhantomStormScenarioActuallyInjects) {
