@@ -23,7 +23,8 @@ namespace {
 void print_usage(const char* prog, std::ostream& os, bool wrapper_note) {
   os << "usage: " << prog
      << " [--trials N] [--jobs J] [--seed S]\n"
-        "       [--format ascii|csv|jsonl] [--out FILE] [--progress]\n"
+        "       [--format ascii|csv|jsonl] [--out FILE] [--progress] "
+        "[--trace DIR]\n"
         "  --trials N    override every cell's trial count "
         "(0 = keep per-cell defaults)\n"
         "  --jobs J      worker threads for the sweep scheduler "
@@ -35,7 +36,10 @@ void print_usage(const char* prog, std::ostream& os, bool wrapper_note) {
         "(RFC-4180 rows), or jsonl (one object per row)\n"
         "  --out FILE    write the report to FILE instead of stdout\n"
         "  --progress    stderr progress line (cells done / total)\n"
-        "results are bit-identical across --jobs values.\n";
+        "  --trace DIR   write one JSONL execution trace per (cell, trial) "
+        "into DIR (the `ssbft_check` tool verifies them and prints their "
+        "SHA-256 commitment)\n"
+        "results are bit-identical across --jobs values, traced or not.\n";
   if (wrapper_note) {
     os << "this binary is a thin wrapper over the `ssbft_bench` driver: "
           "`ssbft_bench list` names every experiment and scenario, "
@@ -100,6 +104,8 @@ BenchOptions parse_cli(const char* prog, int argc, char** argv, int first,
       o.out = take_raw();
     } else if (arg == "--progress") {
       o.progress = true;
+    } else if (arg == "--trace") {
+      o.trace = take_raw();
     } else {
       std::cerr << prog << ": unknown option '" << arg
                 << "' (try --help)\n";
@@ -148,6 +154,7 @@ SweepOptions sweep_options(const BenchOptions& o) {
   SweepOptions so;
   so.jobs = o.jobs;
   so.progress = o.progress;
+  so.trace_dir = o.trace;
   return so;
 }
 
@@ -604,9 +611,10 @@ CoinStats measure_coin(std::uint32_t n, std::uint32_t f, bool oracle,
 }
 
 void run_coin_quality(const BenchOptions& o, Report& r) {
-  if (o.trials != 0 || o.jobs != 0) {
+  if (o.trials != 0 || o.jobs != 0 || !o.trace.empty()) {
     std::cerr << "note: this bench measures fixed single-engine bit streams; "
-                 "--trials/--jobs have no effect here (--seed applies)\n";
+                 "--trials/--jobs/--trace have no effect here "
+                 "(--seed applies)\n";
   }
   r.text("=== Coin quality: ss-Byz-Coin-Flip over the FM-style GVSS "
          "coin (Theorem 1) ===\n"
@@ -726,9 +734,10 @@ AsciiTable fm_round_breakdown(const Engine& eng) {
 }
 
 void run_message_complexity(const BenchOptions& o, Report& r) {
-  if (o.trials != 0 || o.jobs != 0) {
+  if (o.trials != 0 || o.jobs != 0 || !o.trace.empty()) {
     std::cerr << "note: this bench measures one steady-state engine per row; "
-                 "--trials/--jobs have no effect here (--seed applies)\n";
+                 "--trials/--jobs/--trace have no effect here "
+                 "(--seed applies)\n";
   }
   r.text("=== Steady-state traffic per beat (all correct nodes, "
          "k = 16, silent adversary) ===\n\n");

@@ -25,6 +25,7 @@ struct BenchOptions {
   ReportFormat format = ReportFormat::kAscii;
   std::string out;           // --out FILE (empty = stdout)
   bool progress = false;     // stderr cells-done progress line
+  std::string trace;         // --trace DIR: per-(cell, trial) JSONL traces
 };
 
 // Parses argv[first..) into a BenchOptions value; prints usage and exits

@@ -22,7 +22,8 @@ int usage(std::ostream& os, int code) {
         "  run <name|glob> [options]  run an experiment, or every scenario "
         "cell matching a glob\n"
         "run options: [--trials N] [--jobs J] [--seed S]\n"
-        "             [--format ascii|csv|jsonl] [--out FILE] [--progress]\n"
+        "             [--format ascii|csv|jsonl] [--out FILE] [--trace DIR]\n"
+        "             [--progress]\n"
         "  --trials N   override every cell's trial count (0 = per-cell "
         "defaults)\n"
         "  --jobs J     sweep worker threads (default/0: one per hardware "
@@ -30,11 +31,15 @@ int usage(std::ostream& os, int code) {
         "  --seed S     offset added to every cell's base seed\n"
         "  --format F   ascii (default), csv (RFC-4180) or jsonl\n"
         "  --out FILE   write the report to FILE instead of stdout\n"
+        "  --trace DIR  write one JSONL execution trace per (cell, trial)\n"
+        "               into DIR; verify them with `ssbft_check DIR`\n"
         "  --progress   stderr progress line (cells done / total)\n"
         "examples:\n"
         "  ssbft_bench list 'net/*'\n"
         "  ssbft_bench run table1 --trials 2 --jobs 2\n"
-        "  ssbft_bench run 'gallery/*' --format jsonl\n";
+        "  ssbft_bench run 'gallery/*' --format jsonl\n"
+        "  ssbft_bench run net/baseline --trace traces && ssbft_check "
+        "traces\n";
   return code;
 }
 
@@ -68,7 +73,11 @@ int list_command(const std::string& pattern) {
     for (const ScenarioSpec* s : matched) {
       std::cout << "  " << s->name
                 << std::string(width - s->name.size() + 2, ' ') << s->summary
-                << "\n";
+                << "\n"
+                // Audit line: DeliverySpec, network fault axes, corruption
+                // schedule and trial defaults, so a grid can be reviewed
+                // before spending any compute on it.
+                << "      " << scenario_detail(*s) << "\n";
     }
     any = true;
   }

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "sim/trace.h"
 #include "support/check.h"
 
 namespace ssbft {
@@ -30,12 +31,18 @@ void DolevWelchClock::receive_phase(const Inbox& in) {
   for (const auto& [v, c] : counts) {
     if (c >= env_.n - env_.f) {
       clock_ = (v + 1) % k_;
+      gambled_ = false;
       return;
     }
   }
   // No quorum: gamble with local randomness. This is the exponential
   // bottleneck the common coin removes.
+  gambled_ = true;
   clock_ = rng_.next_below(k_);
+}
+
+void DolevWelchClock::trace_state(TraceEmitter& em) const {
+  em.phase(base_, gambled_ ? 1 : 0);
 }
 
 void DolevWelchClock::randomize_state(Rng& rng) {
@@ -80,6 +87,7 @@ void DolevWelchSharedCoin::receive_phase(const Inbox& in) {
   for (const auto& [v, c] : counts) {
     if (c >= env_.n - env_.f) {
       clock_ = (v + 1) % k_;
+      gambled_ = false;
       return;
     }
     if (c > best_count) {
@@ -89,7 +97,15 @@ void DolevWelchSharedCoin::receive_phase(const Inbox& in) {
   }
   // No quorum: the common gamble. rand = 0 lands every gambling node on
   // the canonical value 0 simultaneously.
+  gambled_ = true;
   clock_ = rand ? (best + 1) % k_ : 0;
+}
+
+void DolevWelchSharedCoin::trace_state(TraceEmitter& em) const {
+  em.phase(base_, gambled_ ? 1 : 0);
+  // The shared coin is consumed every beat (drawn before the quorum scan),
+  // so its latched bit is always fresh.
+  em.coin(static_cast<std::uint32_t>(base_ + 1), coin_->last_output());
 }
 
 void DolevWelchSharedCoin::randomize_state(Rng& rng) {

@@ -30,6 +30,9 @@ class DolevWelchClock final : public ClockProtocol {
   ClockValue clock() const override { return clock_ % k_; }
   ClockValue modulus() const override { return k_; }
   std::uint32_t channel_count() const override { return base_ + 1; }
+  // Reports only whether this beat gambled; the local coin draw is private
+  // randomness, not a shared stream, so it is not traced as a coin.
+  void trace_state(TraceEmitter& em) const override;
 
  private:
   ProtocolEnv env_;
@@ -37,6 +40,7 @@ class DolevWelchClock final : public ClockProtocol {
   ChannelId base_;
   Rng rng_;
   ClockValue clock_ = 0;
+  bool gambled_ = false;  // latched by receive_phase for trace_state
 };
 
 // The Section 6.1 adaptation: the same gamble-on-disagreement structure,
@@ -59,6 +63,7 @@ class DolevWelchSharedCoin final : public ClockProtocol {
   ClockValue clock() const override { return clock_ % k_; }
   ClockValue modulus() const override { return k_; }
   std::uint32_t channel_count() const override { return channels_end_; }
+  void trace_state(TraceEmitter& em) const override;
 
   static std::uint32_t channels_needed(const CoinSpec& coin) {
     return 1 + coin.channels;
@@ -71,6 +76,7 @@ class DolevWelchSharedCoin final : public ClockProtocol {
   std::uint32_t channels_end_;
   std::unique_ptr<CoinComponent> coin_;
   ClockValue clock_ = 0;
+  bool gambled_ = false;  // latched by receive_phase for trace_state
 };
 
 }  // namespace ssbft

@@ -3,6 +3,7 @@
 #include <map>
 #include <optional>
 
+#include "sim/trace.h"
 #include "support/check.h"
 
 namespace ssbft {
@@ -65,6 +66,7 @@ void PipelinedBaClock::receive_phase(const Inbox& in) {
   }
   const std::uint64_t agreed = slots_.back()->output();
 
+  quorum_step_ = strong.has_value();
   if (strong) {
     // Deterministic closure branch: all correct nodes equal => everyone
     // sees the quorum and steps identically, forever.
@@ -84,6 +86,10 @@ void PipelinedBaClock::receive_phase(const Inbox& in) {
 void PipelinedBaClock::randomize_state(Rng& rng) {
   clock_ = rng.next_u64() % (2 * k_);
   for (auto& s : slots_) s->randomize_state(rng);
+}
+
+void PipelinedBaClock::trace_state(TraceEmitter& em) const {
+  em.phase(clock_channel_, quorum_step_ ? 1 : 0);
 }
 
 }  // namespace ssbft

@@ -48,6 +48,9 @@ class PipelinedBaClock final : public ClockProtocol {
   std::uint32_t channel_count() const override {
     return base_ + static_cast<std::uint32_t>(rounds_) + 1;
   }
+  // Reports which branch stepped the clock this beat (1 = quorum, 0 = BA
+  // reconciliation); the protocol is deterministic, so no coin stream.
+  void trace_state(TraceEmitter& em) const override;
 
   int pipeline_depth() const { return rounds_; }
 
@@ -62,6 +65,7 @@ class PipelinedBaClock final : public ClockProtocol {
   Rng rng_;
   int rounds_;
   ClockValue clock_ = 0;
+  bool quorum_step_ = false;  // latched by receive_phase for trace_state
   // slots_[j] executes round j+1 at the current beat.
   std::vector<std::unique_ptr<BaInstance>> slots_;
 };

@@ -61,9 +61,21 @@ class CoinComponent {
  public:
   virtual ~CoinComponent() = default;
   virtual void send_phase(Outbox& out) = 0;
-  // Returns this beat's random bit.
-  virtual bool receive_phase(const Inbox& in) = 0;
+  // Returns this beat's random bit and latches it for last_output().
+  bool receive_phase(const Inbox& in) {
+    return last_output_ = do_receive_phase(in);
+  }
+  // The bit the most recent receive_phase returned — what the trace layer
+  // records without re-running (and re-randomizing) the coin.
+  bool last_output() const { return last_output_; }
   virtual void randomize_state(Rng& rng) = 0;
+
+ protected:
+  // Implementation hook behind the latching receive_phase.
+  virtual bool do_receive_phase(const Inbox& in) = 0;
+
+ private:
+  bool last_output_ = false;
 };
 
 // A recipe for creating coin components inside host protocols. `channels`

@@ -28,7 +28,7 @@ void SsByzCoinFlip::send_phase(Outbox& out) {
   }
 }
 
-bool SsByzCoinFlip::receive_phase(const Inbox& in) {
+bool SsByzCoinFlip::do_receive_phase(const Inbox& in) {
   for (int j = 0; j < rounds_; ++j) {
     slots_[static_cast<std::size_t>(j)]->receive_round(
         j + 1, in, static_cast<ChannelId>(base_ + j));

@@ -31,7 +31,7 @@ class SsByzCoinFlip final : public CoinComponent {
                 Rng rng);
 
   void send_phase(Outbox& out) override;
-  bool receive_phase(const Inbox& in) override;
+  bool do_receive_phase(const Inbox& in) override;
   void randomize_state(Rng& rng) override;
 
   int rounds() const { return rounds_; }

@@ -9,7 +9,7 @@ class LocalCoinComponent final : public CoinComponent {
   explicit LocalCoinComponent(Rng rng) : rng_(rng) {}
 
   void send_phase(Outbox&) override {}
-  bool receive_phase(const Inbox&) override { return rng_.next_bool(); }
+  bool do_receive_phase(const Inbox&) override { return rng_.next_bool(); }
   // Reseeding under corruption is immaterial: every draw is independent.
   void randomize_state(Rng& rng) override { rng_ = Rng(rng.next_u64()); }
 

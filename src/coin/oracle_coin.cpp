@@ -34,7 +34,7 @@ class OracleCoinComponent final : public CoinComponent {
       : beacon_(std::move(beacon)), self_(self) {}
 
   void send_phase(Outbox&) override {}
-  bool receive_phase(const Inbox&) override { return beacon_->bit_for(self_); }
+  bool do_receive_phase(const Inbox&) override { return beacon_->bit_for(self_); }
   // Stateless: a transient fault leaves nothing to corrupt, so the oracle
   // pipeline's convergence time is zero.
   void randomize_state(Rng&) override {}

@@ -1,5 +1,6 @@
 #include "core/cascade.h"
 
+#include "sim/trace.h"
 #include "support/check.h"
 
 namespace ssbft {
@@ -47,6 +48,13 @@ ClockValue CascadeClock::clock() const {
     v |= level_[i]->clock() << i;
   }
   return v;
+}
+
+void CascadeClock::trace_state(TraceEmitter& em) const {
+  // Only the levels the carry chain stepped this beat have fresh state.
+  for (std::uint32_t i = 0; i < levels_; ++i) {
+    if (active_[i]) level_[i]->trace_state(em);
+  }
 }
 
 }  // namespace ssbft

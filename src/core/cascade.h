@@ -33,6 +33,7 @@ class CascadeClock final : public ClockProtocol {
   ClockValue clock() const override;
   ClockValue modulus() const override { return ClockValue{1} << levels_; }
   std::uint32_t channel_count() const override { return channels_end_; }
+  void trace_state(TraceEmitter& em) const override;
 
   static std::uint32_t channels_needed(std::uint32_t levels,
                                        const CoinSpec& coin) {

@@ -1,5 +1,6 @@
 #include "core/clock2.h"
 
+#include "sim/trace.h"
 #include "support/check.h"
 
 namespace ssbft {
@@ -79,6 +80,16 @@ void SsByz2Clock::randomize_state(Rng& rng) {
 
 ClockValue SsByz2Clock::clock() const {
   return clock_ == Tri::kOne ? 1 : 0;
+}
+
+void SsByz2Clock::trace_state(TraceEmitter& em) const {
+  // The raw tri-state (0, 1, 2 = ?) — clock() hides ? and the checker wants
+  // to see convergence to the alternating closed orbit, not its projection.
+  em.phase(clock_channel_, static_cast<std::uint64_t>(clock_));
+  if (coin_) {
+    em.coin(static_cast<std::uint32_t>(clock_channel_ + 1),
+            coin_->last_output());
+  }
 }
 
 }  // namespace ssbft

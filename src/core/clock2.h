@@ -56,6 +56,7 @@ class SsByz2Clock final : public ClockProtocol {
   ClockValue clock() const override;
   ClockValue modulus() const override { return 2; }
   std::uint32_t channel_count() const override { return channels_end_; }
+  void trace_state(TraceEmitter& em) const override;
 
   // Channels consumed when rooted at some base: 1 + the coin's.
   static std::uint32_t channels_needed(const CoinSpec& coin) {

@@ -1,5 +1,6 @@
 #include "core/clock4.h"
 
+#include "sim/trace.h"
 #include "support/check.h"
 
 namespace ssbft {
@@ -19,8 +20,8 @@ SsByz4Clock::SsByz4Clock(const ProtocolEnv& env, const CoinSpec& coin,
     a1_ = std::make_unique<SsByz2Clock>(env, base, rng.split("a1"));
     a2_ = std::make_unique<SsByz2Clock>(env, static_cast<ChannelId>(base + 1),
                                         rng.split("a2"));
-    shared_coin_ = coin.make(env, static_cast<ChannelId>(base + 2),
-                             rng.split("shared-coin"));
+    shared_coin_base_ = static_cast<ChannelId>(base + 2);
+    shared_coin_ = coin.make(env, shared_coin_base_, rng.split("shared-coin"));
     SSBFT_CHECK(shared_coin_ != nullptr);
   }
 }
@@ -55,6 +56,14 @@ void SsByz4Clock::randomize_state(Rng& rng) {
 
 ClockValue SsByz4Clock::clock() const {
   return 2 * a2_->clock() + a1_->clock();
+}
+
+void SsByz4Clock::trace_state(TraceEmitter& em) const {
+  a1_->trace_state(em);
+  // A2 only stepped this beat if the gate was open — otherwise its latched
+  // coin bit and phase are stale and must not be reported as fresh.
+  if (a2_active_) a2_->trace_state(em);
+  if (shared_coin_) em.coin(shared_coin_base_, shared_coin_->last_output());
 }
 
 }  // namespace ssbft

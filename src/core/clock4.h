@@ -41,6 +41,7 @@ class SsByz4Clock final : public ClockProtocol {
   ClockValue clock() const override;
   ClockValue modulus() const override { return 4; }
   std::uint32_t channel_count() const override { return channels_end_; }
+  void trace_state(TraceEmitter& em) const override;
 
   static std::uint32_t channels_needed(const CoinSpec& coin,
                                        CoinPipelineMode mode) {
@@ -61,6 +62,7 @@ class SsByz4Clock final : public ClockProtocol {
   std::unique_ptr<SsByz2Clock> a1_;
   std::unique_ptr<SsByz2Clock> a2_;
   std::unique_ptr<CoinComponent> shared_coin_;  // kShared mode only
+  ChannelId shared_coin_base_ = 0;  // the shared pipeline's trace stream
   // Latched during send_phase so send and receive agree on whether A2
   // steps this beat.
   bool a2_active_ = false;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/trace.h"
 #include "support/check.h"
 
 namespace ssbft {
@@ -27,10 +28,18 @@ SsByzClockSync::SsByzClockSync(const ProtocolEnv& env, ClockValue k,
   const auto a_base = static_cast<ChannelId>(base + 3);
   a_ = std::make_unique<SsByz4Clock>(env, coin, a_base, rng.split("four"),
                                      mode);
-  const auto coin_base =
+  coin_base_ =
       static_cast<ChannelId>(a_base + SsByz4Clock::channels_needed(coin, mode));
-  coin_ = coin.make(env, coin_base, rng.split("phase3-coin"));
+  coin_ = coin.make(env, coin_base_, rng.split("phase3-coin"));
   SSBFT_CHECK(coin_ != nullptr);
+}
+
+void SsByzClockSync::trace_state(TraceEmitter& em) const {
+  em.phase(ch_full_, phase_);
+  // The phase-3 coin is consumed every beat (receive_phase draws it
+  // unconditionally), so its latched bit is always fresh.
+  em.coin(coin_base_, coin_->last_output());
+  a_->trace_state(em);
 }
 
 void SsByzClockSync::send_phase(Outbox& out) {

@@ -46,6 +46,7 @@ class SsByzClockSync final : public ClockProtocol {
   ClockValue clock() const override { return full_clock_ % k_; }
   ClockValue modulus() const override { return k_; }
   std::uint32_t channel_count() const override { return channels_end_; }
+  void trace_state(TraceEmitter& em) const override;
 
   static std::uint32_t channels_needed(const CoinSpec& coin,
                                        CoinPipelineMode mode) {
@@ -65,6 +66,7 @@ class SsByzClockSync final : public ClockProtocol {
   ProtocolEnv env_;
   ClockValue k_;
   ChannelId ch_full_, ch_prop_, ch_bit_;
+  ChannelId coin_base_ = 0;  // phase-3 coin's channel range (trace stream)
   std::uint32_t channels_end_;
   std::unique_ptr<SsByz4Clock> a_;
   std::unique_ptr<CoinComponent> coin_;

@@ -1,0 +1,718 @@
+#include "harness/checker.h"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <map>
+#include <optional>
+#include <tuple>
+
+#include "support/sha256.h"
+
+namespace ssbft {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Strict flat-JSON line decoding. The sink emits one small flat object per
+// line whose values are strings, unsigned integers or arrays of unsigned
+// integers; anything else is rejected. No recursion, no floats, no
+// negative numbers, no nested containers.
+
+struct LineValues {
+  std::vector<std::pair<std::string, std::uint64_t>> ints;
+  std::vector<std::pair<std::string, std::string>> strs;
+  std::vector<std::pair<std::string, std::vector<std::uint64_t>>> arrs;
+
+  bool has(const std::string& key) const {
+    for (const auto& [k, v] : ints) {
+      if (k == key) return true;
+    }
+    for (const auto& [k, v] : strs) {
+      if (k == key) return true;
+    }
+    for (const auto& [k, v] : arrs) {
+      if (k == key) return true;
+    }
+    return false;
+  }
+};
+
+class LineScanner {
+ public:
+  explicit LineScanner(const std::string& s) : s_(s) {}
+
+  bool parse(LineValues& out, std::string& err) {
+    if (!lit('{')) return fail(err, "expected '{'");
+    ws();
+    if (peek() == '}') {
+      ++i_;
+      return finish(err);
+    }
+    while (true) {
+      std::string key;
+      if (!parse_string(key, err)) return false;
+      if (out.has(key)) return fail(err, "duplicate key '" + key + "'");
+      if (!lit(':')) return fail(err, "expected ':' after key '" + key + "'");
+      ws();
+      const char c = peek();
+      if (c == '"') {
+        std::string v;
+        if (!parse_string(v, err)) return false;
+        out.strs.emplace_back(std::move(key), std::move(v));
+      } else if (c == '[') {
+        ++i_;
+        std::vector<std::uint64_t> v;
+        ws();
+        if (peek() == ']') {
+          ++i_;
+        } else {
+          while (true) {
+            std::uint64_t u = 0;
+            if (!parse_uint(u, err)) return false;
+            v.push_back(u);
+            if (lit(',')) continue;
+            if (lit(']')) break;
+            return fail(err, "expected ',' or ']' in array");
+          }
+        }
+        out.arrs.emplace_back(std::move(key), std::move(v));
+      } else if (c >= '0' && c <= '9') {
+        std::uint64_t u = 0;
+        if (!parse_uint(u, err)) return false;
+        out.ints.emplace_back(std::move(key), u);
+      } else {
+        return fail(err, "unsupported value (only strings, unsigned "
+                         "integers and integer arrays are legal)");
+      }
+      if (lit(',')) continue;
+      if (lit('}')) break;
+      return fail(err, "expected ',' or '}'");
+    }
+    return finish(err);
+  }
+
+ private:
+  bool finish(std::string& err) {
+    ws();
+    if (i_ != s_.size()) return fail(err, "trailing characters after '}'");
+    return true;
+  }
+
+  static bool fail(std::string& err, std::string msg) {
+    err = std::move(msg);
+    return false;
+  }
+
+  char peek() const { return i_ < s_.size() ? s_[i_] : '\0'; }
+  void ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t')) ++i_;
+  }
+  bool lit(char c) {
+    ws();
+    if (i_ < s_.size() && s_[i_] == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_string(std::string& out, std::string& err) {
+    if (!lit('"')) return fail(err, "expected '\"'");
+    out.clear();
+    while (true) {
+      if (i_ >= s_.size()) return fail(err, "unterminated string");
+      const char c = s_[i_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail(err, "raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (i_ >= s_.size()) return fail(err, "unterminated escape");
+      const char e = s_[i_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (i_ + 4 > s_.size()) return fail(err, "truncated \\u escape");
+          std::uint32_t code = 0;
+          for (int j = 0; j < 4; ++j) {
+            const char h = s_[i_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<std::uint32_t>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<std::uint32_t>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<std::uint32_t>(h - 'A' + 10);
+            else return fail(err, "bad hex digit in \\u escape");
+          }
+          // The sink only escapes control bytes; anything wider is noise.
+          if (code > 0xFF) return fail(err, "\\u escape out of byte range");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return fail(err, "unsupported escape");
+      }
+    }
+  }
+
+  bool parse_uint(std::uint64_t& out, std::string& err) {
+    ws();
+    if (peek() == '-') return fail(err, "negative numbers are not legal");
+    if (!(peek() >= '0' && peek() <= '9')) return fail(err, "expected digit");
+    out = 0;
+    while (peek() >= '0' && peek() <= '9') {
+      const std::uint64_t d = static_cast<std::uint64_t>(s_[i_++] - '0');
+      if (out > (UINT64_MAX - d) / 10) return fail(err, "integer overflow");
+      out = out * 10 + d;
+    }
+    const char c = peek();
+    if (c == '.' || c == 'e' || c == 'E') {
+      return fail(err, "non-integer numbers are not legal");
+    }
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+const std::uint64_t* find_int(const LineValues& v, const char* key) {
+  for (const auto& [k, val] : v.ints) {
+    if (k == key) return &val;
+  }
+  return nullptr;
+}
+
+// Requires the line's integer keys to be exactly `keys`, its only string
+// key to be "type", and (unless allow_arrays) no arrays at all.
+bool exact_shape(const LineValues& v, std::initializer_list<const char*> keys,
+                 bool header_shape, std::string& err) {
+  for (const auto& [k, val] : v.ints) {
+    bool known = false;
+    for (const char* want : keys) {
+      if (k == want) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      err = "unknown key '" + k + "'";
+      return false;
+    }
+  }
+  for (const char* want : keys) {
+    if (find_int(v, want) == nullptr) {
+      err = std::string("missing key '") + want + "'";
+      return false;
+    }
+  }
+  for (const auto& [k, val] : v.strs) {
+    if (k == "type") continue;
+    if (header_shape && k == "scenario") continue;
+    err = "unknown key '" + k + "'";
+    return false;
+  }
+  for (const auto& [k, val] : v.arrs) {
+    if (header_shape && k == "faulty") continue;
+    err = "unknown key '" + k + "'";
+    return false;
+  }
+  if (header_shape && !v.has("faulty")) {
+    err = "missing key 'faulty'";
+    return false;
+  }
+  if (header_shape && !v.has("scenario")) {
+    err = "missing key 'scenario'";
+    return false;
+  }
+  return true;
+}
+
+struct MergeKey {
+  std::string scenario;
+  std::uint64_t trial;
+  std::uint64_t seed;
+  bool operator<(const MergeKey& o) const {
+    return std::tie(scenario, trial, seed) <
+           std::tie(o.scenario, o.trial, o.seed);
+  }
+};
+
+bool headers_equal(const TraceHeader& a, const TraceHeader& b) {
+  return a.scenario == b.scenario && a.trial == b.trial && a.seed == b.seed &&
+         a.n == b.n && a.f == b.f && a.faulty == b.faulty &&
+         a.max_beats == b.max_beats && a.confirm_window == b.confirm_window;
+}
+
+// Post-merge structural validation: one clock record per correct node on
+// every beat that carries any, plus a single modulus across the trace.
+bool validate_merged(const ParsedTrace& t, std::string& err) {
+  std::vector<bool> is_faulty(t.header.n, false);
+  for (NodeId id : t.header.faulty) is_faulty[id] = true;
+  std::size_t correct = 0;
+  for (NodeId id = 0; id < t.header.n; ++id) {
+    if (!is_faulty[id]) ++correct;
+  }
+  ClockValue modulus = 0;
+  std::vector<std::uint8_t> seen(t.header.n, 0);
+  std::size_t i = 0;
+  while (i < t.records.size()) {
+    const Beat beat = t.records[i].beat;
+    std::fill(seen.begin(), seen.end(), 0);
+    std::size_t clocks = 0;
+    for (; i < t.records.size() && t.records[i].beat == beat; ++i) {
+      const TraceRecord& r = t.records[i];
+      if (r.event != TraceEvent::kClock) continue;
+      const auto node = static_cast<NodeId>(r.node);
+      if (seen[node]++) {
+        err = "beat " + std::to_string(beat) + ": duplicate clock record for node " +
+              std::to_string(node);
+        return false;
+      }
+      ++clocks;
+      if (modulus == 0) modulus = r.b;
+      if (r.b != modulus) {
+        err = "beat " + std::to_string(beat) + ": modulus mismatch (" +
+              std::to_string(r.b) + " vs " + std::to_string(modulus) + ")";
+        return false;
+      }
+    }
+    if (clocks != 0 && clocks != correct) {
+      err = "beat " + std::to_string(beat) + ": clock records for " +
+            std::to_string(clocks) + " nodes, expected " +
+            std::to_string(correct) + " (missing nodes)";
+      return false;
+    }
+  }
+  return true;
+}
+
+const char* event_name(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kBeat: return "beat";
+    case TraceEvent::kNet: return "net";
+    case TraceEvent::kProbe: return "probe";
+    case TraceEvent::kClock: return "clock";
+    case TraceEvent::kPhase: return "phase";
+    case TraceEvent::kCoin: return "coin";
+    case TraceEvent::kCorrupt: return "corrupt";
+  }
+  return "?";
+}
+
+}  // namespace
+
+ParseResult parse_trace(std::istream& in) {
+  ParseResult res;
+  std::string line;
+  std::size_t lineno = 0;
+  bool have_header = false;
+  bool have_beat = false;
+  Beat last_beat = 0;
+  ClockValue modulus = 0;
+  std::vector<bool> is_faulty;
+
+  auto fail = [&](std::string msg) {
+    res.ok = false;
+    res.error = std::move(msg);
+    res.error_line = lineno;
+    return res;
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) return fail("empty line");
+    LineValues v;
+    std::string err;
+    if (!LineScanner(line).parse(v, err)) return fail(err);
+
+    std::string type;
+    for (const auto& [k, s] : v.strs) {
+      if (k == "type") type = s;
+    }
+    if (type.empty()) return fail("missing key 'type'");
+
+    if (type == "header") {
+      if (have_header) return fail("duplicate header");
+      if (!exact_shape(v,
+                       {"version", "trial", "seed", "n", "f", "max_beats",
+                        "confirm_window"},
+                       /*header_shape=*/true, err)) {
+        return fail(err);
+      }
+      if (*find_int(v, "version") != 1) return fail("unsupported version");
+      TraceHeader& h = res.trace.header;
+      for (const auto& [k, s] : v.strs) {
+        if (k == "scenario") h.scenario = s;
+      }
+      h.trial = *find_int(v, "trial");
+      h.seed = *find_int(v, "seed");
+      const std::uint64_t n = *find_int(v, "n");
+      const std::uint64_t f = *find_int(v, "f");
+      if (n == 0 || n > (1u << 20)) return fail("n out of range");
+      if (f > n) return fail("f out of range");
+      h.n = static_cast<std::uint32_t>(n);
+      h.f = static_cast<std::uint32_t>(f);
+      h.max_beats = *find_int(v, "max_beats");
+      h.confirm_window = *find_int(v, "confirm_window");
+      is_faulty.assign(h.n, false);
+      for (const auto& [k, arr] : v.arrs) {
+        if (k != "faulty") continue;
+        for (std::uint64_t id : arr) {
+          if (id >= h.n) return fail("faulty id out of range");
+          if (is_faulty[id]) return fail("duplicate faulty id");
+          is_faulty[id] = true;
+          h.faulty.push_back(static_cast<NodeId>(id));
+        }
+      }
+      have_header = true;
+      continue;
+    }
+
+    if (!have_header) return fail("record before header");
+
+    TraceRecord r;
+    if (type == "beat") {
+      if (!exact_shape(v, {"beat", "cm", "cb", "am", "ab"}, false, err)) {
+        return fail(err);
+      }
+      r.event = TraceEvent::kBeat;
+      r.a = *find_int(v, "cm");
+      r.b = *find_int(v, "cb");
+      r.c = *find_int(v, "am");
+      r.d = *find_int(v, "ab");
+    } else if (type == "net") {
+      if (!exact_shape(v, {"beat", "dropped", "phantoms"}, false, err)) {
+        return fail(err);
+      }
+      r.event = TraceEvent::kNet;
+      r.a = *find_int(v, "dropped");
+      r.b = *find_int(v, "phantoms");
+    } else if (type == "probe") {
+      if (!exact_shape(v, {"beat", "eclipsed", "delayed", "reordered"}, false,
+                       err)) {
+        return fail(err);
+      }
+      r.event = TraceEvent::kProbe;
+      r.a = *find_int(v, "eclipsed");
+      r.b = *find_int(v, "delayed");
+      r.c = *find_int(v, "reordered");
+    } else if (type == "clock") {
+      if (!exact_shape(v, {"beat", "node", "clock", "k"}, false, err)) {
+        return fail(err);
+      }
+      r.event = TraceEvent::kClock;
+      r.a = *find_int(v, "clock");
+      r.b = *find_int(v, "k");
+      if (r.b == 0) return fail("zero modulus");
+      if (modulus == 0) modulus = r.b;
+      if (r.b != modulus) return fail("modulus mismatch within file");
+    } else if (type == "phase") {
+      if (!exact_shape(v, {"beat", "node", "stream", "value"}, false, err)) {
+        return fail(err);
+      }
+      r.event = TraceEvent::kPhase;
+      r.a = *find_int(v, "value");
+    } else if (type == "coin") {
+      if (!exact_shape(v, {"beat", "node", "stream", "bit"}, false, err)) {
+        return fail(err);
+      }
+      r.event = TraceEvent::kCoin;
+      r.a = *find_int(v, "bit");
+      if (r.a > 1) return fail("coin bit out of range");
+    } else if (type == "corrupt") {
+      if (!exact_shape(v, {"beat", "node"}, false, err)) return fail(err);
+      r.event = TraceEvent::kCorrupt;
+    } else {
+      return fail("unknown type '" + type + "'");
+    }
+
+    r.beat = *find_int(v, "beat");
+    if (have_beat && r.beat < last_beat) return fail("beats out of order");
+    last_beat = r.beat;
+    have_beat = true;
+
+    if (const std::uint64_t* node = find_int(v, "node")) {
+      if (*node >= res.trace.header.n) return fail("node out of range");
+      // clock/phase/coin/corrupt records describe *correct* nodes; one
+      // naming a faulty node is a forgery, not data.
+      if (is_faulty[*node]) {
+        return fail(std::string("forged ") + event_name(r.event) +
+                    " record from faulty node " + std::to_string(*node));
+      }
+      r.node = static_cast<std::int32_t>(*node);
+    }
+    if (const std::uint64_t* stream = find_int(v, "stream")) {
+      if (*stream > 0xFFFFFFFFull) return fail("stream out of range");
+      r.stream = static_cast<std::uint32_t>(*stream);
+    }
+    res.trace.records.push_back(r);
+  }
+
+  if (!have_header) return fail("missing header");
+  res.ok = true;
+  return res;
+}
+
+MergeResult merge_traces(std::vector<ParsedTrace> parts) {
+  MergeResult res;
+  std::map<MergeKey, ParsedTrace> groups;
+  for (ParsedTrace& p : parts) {
+    const MergeKey key{p.header.scenario, p.header.trial, p.header.seed};
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      groups.emplace(key, std::move(p));
+      continue;
+    }
+    if (!headers_equal(it->second.header, p.header)) {
+      res.error = "conflicting headers for scenario '" + key.scenario +
+                  "' trial " + std::to_string(key.trial) + " seed " +
+                  std::to_string(key.seed);
+      return res;
+    }
+    it->second.records.insert(it->second.records.end(),
+                              p.records.begin(), p.records.end());
+  }
+  for (auto& [key, trace] : groups) {
+    // Total order (beat, node, event, stream, payload): the canonical
+    // stream — and so the commitment — is independent of how records were
+    // split across files and of the order the files were supplied in. The
+    // checker only interprets records per whole beat, never by intra-beat
+    // position, so reordering within a beat is semantically free.
+    const auto rec_key = [](const TraceRecord& r) {
+      return std::make_tuple(r.beat, r.node,
+                             static_cast<std::uint8_t>(r.event), r.stream,
+                             r.a, r.b, r.c, r.d);
+    };
+    std::sort(trace.records.begin(), trace.records.end(),
+              [&rec_key](const TraceRecord& a, const TraceRecord& b) {
+                return rec_key(a) < rec_key(b);
+              });
+    std::string err;
+    if (!validate_merged(trace, err)) {
+      res.error = "scenario '" + key.scenario + "' trial " +
+                  std::to_string(key.trial) + ": " + err;
+      return res;
+    }
+    res.traces.push_back(std::move(trace));
+  }
+  res.ok = true;
+  return res;
+}
+
+CheckResult check_trace(const ParsedTrace& trace, const CheckOptions& opts) {
+  CheckResult res;
+  const TraceHeader& h = trace.header;
+  const std::uint64_t window =
+      opts.confirm_window != 0
+          ? opts.confirm_window
+          : (h.confirm_window != 0 ? h.confirm_window : 12);
+
+  auto violation = [&](std::string msg) {
+    res.ok = false;
+    if (res.violations.size() < 32) res.violations.push_back(std::move(msg));
+  };
+
+  // Mirror of measure_convergence's streak detector (harness/convergence.h)
+  // plus a closure mode it never needs (it stops at confirmation).
+  enum class Mode { kSearching, kConverged };
+  Mode mode = Mode::kSearching;
+  std::optional<ClockValue> prev_common;
+  std::uint64_t streak = 0;
+  Beat streak_start = 0;
+  ClockValue k = 0;
+
+  struct CoinGroup {
+    Beat beat;
+    bool equal;
+  };
+  std::vector<CoinGroup> coin_groups;
+
+  // Per-beat scratch: one (stream, count, first bit, still-all-equal)
+  // accumulator per coin stream seen this beat.
+  struct CoinAcc {
+    std::uint32_t stream;
+    std::uint32_t count;
+    bool first_bit;
+    bool equal;
+  };
+  std::vector<CoinAcc> coin_acc;
+
+  std::size_t i = 0;
+  while (i < trace.records.size()) {
+    const Beat beat = trace.records[i].beat;
+    ++res.beats;
+    bool corrupt_here = false;
+    bool have_clocks = false;
+    bool clocks_common = true;
+    ClockValue common_value = 0;
+    coin_acc.clear();
+
+    for (; i < trace.records.size() && trace.records[i].beat == beat; ++i) {
+      const TraceRecord& r = trace.records[i];
+      switch (r.event) {
+        case TraceEvent::kCorrupt:
+          corrupt_here = true;
+          res.had_corruption = true;
+          res.last_corruption = beat;
+          break;
+        case TraceEvent::kClock: {
+          if (k == 0) k = r.b;
+          if (r.a >= k) {
+            violation("beat " + std::to_string(beat) + " node " +
+                      std::to_string(r.node) + ": clock value " +
+                      std::to_string(r.a) + " >= modulus " + std::to_string(k));
+          }
+          if (!have_clocks) {
+            have_clocks = true;
+            common_value = r.a;
+          } else if (r.a != common_value) {
+            clocks_common = false;
+          }
+          break;
+        }
+        case TraceEvent::kCoin: {
+          const bool bit = r.a != 0;
+          bool found = false;
+          for (CoinAcc& acc : coin_acc) {
+            if (acc.stream != r.stream) continue;
+            found = true;
+            ++acc.count;
+            if (acc.first_bit != bit) acc.equal = false;
+            break;
+          }
+          if (!found) coin_acc.push_back({r.stream, 1, bit, true});
+          break;
+        }
+        default:
+          break;
+      }
+    }
+
+    for (const CoinAcc& acc : coin_acc) {
+      if (acc.count >= 2) coin_groups.push_back({beat, acc.equal});
+    }
+
+    const std::optional<ClockValue> common =
+        (have_clocks && clocks_common) ? std::optional<ClockValue>(common_value)
+                                       : std::nullopt;
+
+    if (have_clocks) {
+      if (mode == Mode::kConverged) {
+        const bool legal_step = common.has_value() && prev_common.has_value() &&
+                                *common == (*prev_common + 1) % k;
+        if (!legal_step) {
+          if (!corrupt_here) {
+            violation("beat " + std::to_string(beat) +
+                      ": closure broke without a recorded corruption");
+          }
+          mode = Mode::kSearching;
+          streak = 0;
+        }
+      }
+      if (mode == Mode::kSearching) {
+        const bool continues =
+            common.has_value() &&
+            (!prev_common.has_value() ||
+             (streak > 0 && *common == (*prev_common + 1) % k));
+        if (common.has_value() && (streak == 0 || continues)) {
+          if (streak == 0) streak_start = beat;
+          ++streak;
+        } else if (common.has_value()) {
+          streak_start = beat;
+          streak = 1;
+        } else {
+          streak = 0;
+        }
+        if (streak >= window) {
+          mode = Mode::kConverged;
+          res.synced_at = streak_start;
+        }
+      }
+      prev_common = common;
+    }
+  }
+
+  res.converged = mode == Mode::kConverged;
+  res.censored = !res.converged;
+
+  // Coin agreement over confirmed-converged beats (gates derive from the
+  // common clocks there, so groups are aligned across nodes).
+  std::uint64_t groups = 0, equal = 0;
+  // A censored trace reports its rate over every group but enforces nothing.
+  for (const CoinGroup& g : coin_groups) {
+    if (res.converged && g.beat <= res.synced_at) continue;
+    ++groups;
+    if (g.equal) ++equal;
+  }
+  res.coin_groups = groups;
+  res.coin_agreement_rate =
+      groups == 0 ? 1.0 : static_cast<double>(equal) / static_cast<double>(groups);
+  if (res.converged && groups > 0 &&
+      res.coin_agreement_rate < opts.coin_agreement) {
+    violation("coin agreement rate " + std::to_string(res.coin_agreement_rate) +
+              " below required " + std::to_string(opts.coin_agreement));
+  }
+
+  if (opts.require_convergence && res.censored) {
+    violation("never converged within " + std::to_string(res.beats) +
+              " recorded beats");
+  }
+  if (opts.bound != 0) {
+    if (!res.converged) {
+      violation("re-convergence bound set but the trace never (re)converged");
+    } else {
+      const Beat origin = res.had_corruption ? res.last_corruption : 0;
+      if (res.synced_at >= origin && res.synced_at - origin > opts.bound) {
+        violation("re-converged " + std::to_string(res.synced_at - origin) +
+                  " beats after the last corruption, bound is " +
+                  std::to_string(opts.bound));
+      }
+    }
+  }
+  return res;
+}
+
+std::string trace_commitment(const ParsedTrace& trace) {
+  Sha256 sha;
+  sha.update(std::string("ssbft-trace-v1\n"));
+  const TraceHeader& h = trace.header;
+  std::string line = "h|" + h.scenario + "|" + std::to_string(h.trial) + "|" +
+                     std::to_string(h.seed) + "|" + std::to_string(h.n) + "|" +
+                     std::to_string(h.f) + "|";
+  for (std::size_t i = 0; i < h.faulty.size(); ++i) {
+    if (i != 0) line.push_back(',');
+    line += std::to_string(h.faulty[i]);
+  }
+  line += "|" + std::to_string(h.max_beats) + "|" +
+          std::to_string(h.confirm_window) + "\n";
+  sha.update(line);
+  for (const TraceRecord& r : trace.records) {
+    line = "r|" + std::to_string(r.beat) + "|" + std::to_string(r.node) + "|" +
+           std::to_string(static_cast<unsigned>(r.event)) + "|" +
+           std::to_string(r.stream) + "|" + std::to_string(r.a) + "|" +
+           std::to_string(r.b) + "|" + std::to_string(r.c) + "|" +
+           std::to_string(r.d) + "\n";
+    sha.update(line);
+  }
+  return Sha256::hex(sha.digest());
+}
+
+std::string aggregate_commitment(std::vector<std::string> commitments) {
+  std::sort(commitments.begin(), commitments.end());
+  Sha256 sha;
+  for (const std::string& c : commitments) {
+    sha.update(c);
+    sha.update("\n", 1);
+  }
+  return Sha256::hex(sha.digest());
+}
+
+}  // namespace ssbft

@@ -668,7 +668,55 @@ std::vector<ScenarioSpec> make_registry() {
   return specs;
 }
 
+void append_id_list(std::ostringstream& os, const std::vector<NodeId>& ids) {
+  os << '[';
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i != 0) os << ',';
+    os << ids[i];
+  }
+  os << ']';
+}
+
 }  // namespace
+
+std::string scenario_detail(const ScenarioSpec& spec) {
+  const FaultPlan& fp = spec.world.faults;
+  const DeliverySpec& d = fp.delivery;
+  std::ostringstream os;
+  os << "delivery " << delivery_kind_name(d.kind);
+  if (!d.victims.empty()) {
+    os << " victims=";
+    append_id_list(os, d.victims);
+  }
+  if (d.kind == DeliveryKind::kEclipse) {
+    os << " allowed=";
+    append_id_list(os, d.allowed_senders);
+  }
+  if (d.kind == DeliveryKind::kPartition) os << " split=" << d.partition_split;
+  if (d.kind == DeliveryKind::kTargetedDelay) os << " delay=" << d.delay_beats;
+  if (d.heal_at != DeliverySpec::kNever) os << " heal@" << d.heal_at;
+  os << " | net ";
+  if (fp.faulty_drop_prob == 0.0 && fp.phantoms_per_beat == 0) {
+    os << "clean";
+  } else {
+    if (fp.faulty_drop_prob > 0.0) os << "drop=" << fp.faulty_drop_prob;
+    if (fp.phantoms_per_beat > 0) {
+      if (fp.faulty_drop_prob > 0.0) os << ' ';
+      os << "phantoms=" << fp.phantoms_per_beat << "/beat";
+    }
+    os << " until beat " << fp.network_faulty_until;
+  }
+  if (!fp.corruptions.empty()) {
+    os << " | corrupt";
+    for (const auto& [beat, ids] : fp.corruptions) {
+      os << " b" << beat << "=";
+      append_id_list(os, ids);
+    }
+  }
+  os << " | trials=" << spec.trials << " seed=" << spec.base_seed
+     << " max_beats=" << spec.max_beats;
+  return os.str();
+}
 
 const std::vector<ScenarioSpec>& scenario_registry() {
   static const std::vector<ScenarioSpec> registry = make_registry();

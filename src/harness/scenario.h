@@ -116,6 +116,13 @@ EngineBuilder build_scenario(const ScenarioSpec& spec);
 // schedule globally).
 RunnerConfig scenario_runner_config(const ScenarioSpec& spec);
 
+// One-line audit detail for `ssbft_bench list`: the cell's DeliverySpec
+// (kind, victim/allowed-sender id lists, split/delay/heal), the network
+// fault axes (drop probability, phantoms) with their horizon, the
+// corruption schedule, and the trial-run defaults — everything needed to
+// audit a grid before running it.
+std::string scenario_detail(const ScenarioSpec& spec);
+
 // All registered scenarios, sorted by name. Built once, immutable.
 const std::vector<ScenarioSpec>& scenario_registry();
 

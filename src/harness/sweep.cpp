@@ -7,9 +7,11 @@
 #include <atomic>
 #include <cstdio>
 #include <exception>
+#include <filesystem>
 #include <mutex>
 #include <thread>
 
+#include "sim/trace.h"
 #include "support/check.h"
 
 namespace ssbft {
@@ -45,9 +47,44 @@ std::uint64_t effective_jobs(std::uint64_t requested, std::uint64_t units) {
   return std::min(jobs, units);
 }
 
-TrialOutcome run_unit(const SweepCell& cell, std::uint64_t t) {
+std::string sanitize_for_path(const std::string& name) {
+  std::string out = name.empty() ? "cell" : name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+TrialOutcome run_unit(const SweepCell& cell, std::uint64_t t,
+                      const SweepOptions& opts) {
   EngineBundle bundle = cell.builder(cell.cfg.base_seed + t);
   SSBFT_CHECK(bundle.engine != nullptr);
+  // Destroyed before the bundle (declared later), which is safe: no beat
+  // runs after measure_convergence returns and the engine's destructor
+  // never touches its trace sink.
+  std::unique_ptr<JsonlTraceSink> sink;
+  if (!opts.trace_dir.empty()) {
+    const std::string path = opts.trace_dir + "/" +
+                             sanitize_for_path(cell.name) + ".t" +
+                             std::to_string(t) + ".jsonl";
+    sink = std::make_unique<JsonlTraceSink>(path);
+    SSBFT_REQUIRE_MSG(sink->ok(), "cannot open trace file " << path);
+    TraceMeta meta;
+    meta.scenario = cell.name;
+    meta.trial = t;
+    meta.seed = cell.cfg.base_seed + t;
+    meta.n = bundle.engine->n();
+    meta.f = bundle.engine->f();
+    for (NodeId id = 0; id < bundle.engine->n(); ++id) {
+      if (bundle.engine->is_faulty(id)) meta.faulty.push_back(id);
+    }
+    meta.max_beats = cell.cfg.convergence.max_beats;
+    meta.confirm_window = cell.cfg.convergence.confirm_window;
+    sink->begin_trace(meta);
+    bundle.engine->set_trace(sink.get());
+  }
   const ConvergenceResult r =
       measure_convergence(*bundle.engine, cell.cfg.convergence);
   return {r.converged, r.synced_at,
@@ -102,6 +139,10 @@ std::vector<TrialStats> run_sweep(const std::vector<SweepCell>& cells,
   }
   const std::uint64_t units = cell_of.size();
 
+  if (!opts.trace_dir.empty()) {
+    std::filesystem::create_directories(opts.trace_dir);
+  }
+
   // Per-cell countdown for the progress line; fires when a cell's last
   // unit retires, from whichever worker ran it. The done-count increments
   // under the same lock as the print so the reported sequence is
@@ -123,7 +164,7 @@ std::vector<TrialStats> run_sweep(const std::vector<SweepCell>& cells,
   };
   const auto run_one = [&](std::uint64_t u) {
     const std::uint32_t c = cell_of[u];
-    outcomes[c][trial_of[u]] = run_unit(cells[c], trial_of[u]);
+    outcomes[c][trial_of[u]] = run_unit(cells[c], trial_of[u], opts);
     finish_unit(c);
   };
 

@@ -29,6 +29,11 @@ struct SweepOptions {
   std::uint64_t jobs = 1;
   // Opt-in stderr progress line ("sweep: c/N cells done") for long sweeps.
   bool progress = false;
+  // When non-empty, every (cell, trial) unit writes a JSONL execution
+  // trace (sim/trace.h) to "<trace_dir>/<cell>.t<trial>.jsonl" (cell names
+  // sanitized for the filesystem). The directory is created. Tracing never
+  // affects results: the same seeds, the same beats, the same TrialStats.
+  std::string trace_dir;
 };
 
 // Runs every (cell, trial) unit and returns one TrialStats per cell, in

@@ -115,6 +115,45 @@ std::vector<ClockValue> Engine::correct_clocks() const {
 void Engine::corrupt_node(NodeId id) {
   SSBFT_REQUIRE(id < cfg_.n && !is_faulty_[id]);
   protocols_[id]->randomize_state(corrupt_rng_);
+  if (trace_ != nullptr) {
+    trace_buf_.push({beat_, static_cast<std::int32_t>(id),
+                     TraceEvent::kCorrupt, 0, 0, 0, 0, 0});
+  }
+}
+
+void Engine::set_trace(TraceSink* sink) {
+  trace_ = sink;
+  trace_buf_.bind(sink);
+  clock_views_.assign(cfg_.n, nullptr);
+  if (sink == nullptr) return;
+  for (NodeId id : correct_ids_) {
+    clock_views_[id] =
+        dynamic_cast<const ClockProtocol*>(protocols_[id].get());
+  }
+}
+
+void Engine::emit_beat_trace() {
+  for (NodeId id : correct_ids_) {
+    TraceEmitter em(&trace_buf_, beat_, static_cast<std::int32_t>(id));
+    if (const ClockProtocol* cp = clock_views_[id]) {
+      em.clock(cp->clock(), cp->modulus());
+    }
+    protocols_[id]->trace_state(em);
+  }
+  const BeatTraffic& t = metrics_.retained(metrics_.retained_count() - 1);
+  trace_buf_.push({beat_, -1, TraceEvent::kBeat, 0, t.correct_messages,
+                   t.correct_bytes, t.adversary_messages, t.adversary_bytes});
+  if (t.dropped_messages != 0 || t.phantom_messages != 0) {
+    trace_buf_.push({beat_, -1, TraceEvent::kNet, 0, t.dropped_messages,
+                     t.phantom_messages, 0, 0});
+  }
+  if (t.eclipsed_messages != 0 || t.delayed_messages != 0 ||
+      t.reordered_messages != 0) {
+    trace_buf_.push({beat_, -1, TraceEvent::kProbe, 0, t.eclipsed_messages,
+                     t.delayed_messages, t.reordered_messages, 0});
+  }
+  trace_buf_.flush();
+  trace_->end_beat(beat_);
 }
 
 void Engine::reset_channel_bytes() {
@@ -130,7 +169,13 @@ void Engine::run_beat() {
   if (auto it = cfg_.faults.corruptions.find(beat_);
       it != cfg_.faults.corruptions.end()) {
     for (NodeId id : it->second) {
-      if (!is_faulty_[id]) protocols_[id]->randomize_state(corrupt_rng_);
+      if (!is_faulty_[id]) {
+        protocols_[id]->randomize_state(corrupt_rng_);
+        if (trace_ != nullptr) {
+          trace_buf_.push({beat_, static_cast<std::int32_t>(id),
+                           TraceEvent::kCorrupt, 0, 0, 0, 0, 0});
+        }
+      }
     }
   }
 
@@ -198,6 +243,9 @@ void Engine::run_beat() {
   for (NodeId id : correct_ids_) {
     protocols_[id]->receive_phase(inboxes_[id]);
   }
+
+  // 5. Trace emission (sim/trace.h), observing post-receive state.
+  if (trace_ != nullptr) emit_beat_trace();
 
   // Reset the beat scratch and the inboxes. Clearing drops every payload
   // handle of the beat — delivered, dropped and observed alike — in one

@@ -11,6 +11,7 @@
 #include "sim/message.h"
 #include "sim/metrics.h"
 #include "sim/protocol.h"
+#include "sim/trace.h"
 #include "support/rng.h"
 
 namespace ssbft {
@@ -103,7 +104,17 @@ class Engine {
   // Listener is not owned; must outlive the engine's run.
   void add_listener(BeatListener* l) { listeners_.push_back(l); }
 
+  // Attaches (or with nullptr detaches) a trace sink (sim/trace.h). The
+  // sink is not owned and must outlive the run. Attaching caches each
+  // correct node's ClockProtocol view once, so traced beats never
+  // dynamic_cast; with no sink the beat loop pays one pointer test.
+  void set_trace(TraceSink* sink);
+
  private:
+  // End-of-beat trace pass: per-node clock + protocol records, then the
+  // engine-level traffic summary. Only called when trace_ is attached.
+  void emit_beat_trace();
+
   EngineConfig cfg_;
   Beat beat_ = 0;
   std::vector<bool> is_faulty_;
@@ -128,6 +139,11 @@ class Engine {
   Rng net_rng_;
   Metrics metrics_;
   std::vector<BeatListener*> listeners_;
+  TraceSink* trace_ = nullptr;
+  TraceBuffer trace_buf_;
+  // Cached per-id clock views for trace emission (null for faulty ids and
+  // non-clock protocols); rebuilt by set_trace.
+  std::vector<const ClockProtocol*> clock_views_;
   std::vector<std::uint64_t> channel_bytes_;  // per channel, when tracked
   std::uint64_t channel_bytes_beats_ = 0;
   // Persistent per-beat scratch: cleared every beat, capacity retained.

@@ -22,6 +22,8 @@
 
 namespace ssbft {
 
+class TraceEmitter;  // sim/trace.h
+
 // Static facts a node knows about the system ("part of the code").
 struct ProtocolEnv {
   NodeId self = 0;
@@ -46,6 +48,13 @@ class Protocol {
   // Number of channels this protocol stack uses (channel ids are
   // [0, channel_count)). The engine sizes inboxes from this.
   virtual std::uint32_t channel_count() const = 0;
+
+  // Observation hook (sim/trace.h): emit this beat's phase transitions and
+  // coin outcomes. Called by the engine after the receive phase, only when
+  // tracing is on; the default traces nothing. Implementations must emit
+  // only state that was actually fresh this beat (gated sub-protocols
+  // skip beats they did not step) and must not mutate protocol state.
+  virtual void trace_state(TraceEmitter& /*em*/) const {}
 };
 
 // A protocol whose observable output is a digital clock (the k-Clock

@@ -1,0 +1,133 @@
+#include "sim/trace.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "support/check.h"
+
+namespace ssbft {
+
+void TraceBuffer::bind(TraceSink* sink) {
+  sink_ = sink;
+  ring_.clear();
+  if (sink_ != nullptr) ring_.reserve(kCapacity);
+}
+
+void TraceBuffer::flush() {
+  if (ring_.empty()) return;
+  SSBFT_CHECK(sink_ != nullptr);
+  sink_->write(ring_.data(), ring_.size());
+  ring_.clear();
+}
+
+namespace {
+
+// Minimal JSON string escaping; scenario names are plain but the schema
+// must stay well-formed for any metadata. Local copy: the sim layer must
+// not depend on the harness report layer.
+void append_json_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(kHex[(c >> 4) & 0xf]);
+          out.push_back(kHex[c & 0xf]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+JsonlTraceSink::JsonlTraceSink(std::ostream& out) : out_(&out) {}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path)
+    : file_(std::make_unique<std::ofstream>(path)), out_(file_.get()) {}
+
+JsonlTraceSink::~JsonlTraceSink() = default;
+
+bool JsonlTraceSink::ok() const { return out_ != nullptr && out_->good(); }
+
+void JsonlTraceSink::begin_trace(const TraceMeta& meta) {
+  std::string line = "{\"type\":\"header\",\"version\":1,\"scenario\":";
+  append_json_string(line, meta.scenario);
+  line += ",\"trial\":" + std::to_string(meta.trial);
+  line += ",\"seed\":" + std::to_string(meta.seed);
+  line += ",\"n\":" + std::to_string(meta.n);
+  line += ",\"f\":" + std::to_string(meta.f);
+  line += ",\"faulty\":[";
+  for (std::size_t i = 0; i < meta.faulty.size(); ++i) {
+    if (i != 0) line.push_back(',');
+    line += std::to_string(meta.faulty[i]);
+  }
+  line += "],\"max_beats\":" + std::to_string(meta.max_beats);
+  line += ",\"confirm_window\":" + std::to_string(meta.confirm_window);
+  line += "}\n";
+  *out_ << line;
+}
+
+void JsonlTraceSink::write(const TraceRecord* records, std::size_t count) {
+  std::string line;
+  for (std::size_t i = 0; i < count; ++i) {
+    const TraceRecord& r = records[i];
+    line.clear();
+    const std::string beat = std::to_string(r.beat);
+    switch (r.event) {
+      case TraceEvent::kBeat:
+        line = "{\"type\":\"beat\",\"beat\":" + beat +
+               ",\"cm\":" + std::to_string(r.a) +
+               ",\"cb\":" + std::to_string(r.b) +
+               ",\"am\":" + std::to_string(r.c) +
+               ",\"ab\":" + std::to_string(r.d) + "}";
+        break;
+      case TraceEvent::kNet:
+        line = "{\"type\":\"net\",\"beat\":" + beat +
+               ",\"dropped\":" + std::to_string(r.a) +
+               ",\"phantoms\":" + std::to_string(r.b) + "}";
+        break;
+      case TraceEvent::kProbe:
+        line = "{\"type\":\"probe\",\"beat\":" + beat +
+               ",\"eclipsed\":" + std::to_string(r.a) +
+               ",\"delayed\":" + std::to_string(r.b) +
+               ",\"reordered\":" + std::to_string(r.c) + "}";
+        break;
+      case TraceEvent::kClock:
+        line = "{\"type\":\"clock\",\"beat\":" + beat +
+               ",\"node\":" + std::to_string(r.node) +
+               ",\"clock\":" + std::to_string(r.a) +
+               ",\"k\":" + std::to_string(r.b) + "}";
+        break;
+      case TraceEvent::kPhase:
+        line = "{\"type\":\"phase\",\"beat\":" + beat +
+               ",\"node\":" + std::to_string(r.node) +
+               ",\"stream\":" + std::to_string(r.stream) +
+               ",\"value\":" + std::to_string(r.a) + "}";
+        break;
+      case TraceEvent::kCoin:
+        line = "{\"type\":\"coin\",\"beat\":" + beat +
+               ",\"node\":" + std::to_string(r.node) +
+               ",\"stream\":" + std::to_string(r.stream) +
+               ",\"bit\":" + std::to_string(r.a) + "}";
+        break;
+      case TraceEvent::kCorrupt:
+        line = "{\"type\":\"corrupt\",\"beat\":" + beat +
+               ",\"node\":" + std::to_string(r.node) + "}";
+        break;
+    }
+    line.push_back('\n');
+    *out_ << line;
+  }
+}
+
+}  // namespace ssbft

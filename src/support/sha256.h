@@ -1,0 +1,42 @@
+// Streaming SHA-256 (FIPS 180-4), dependency-free. Used by the trace
+// checker to commit to a canonical serialization of an execution trace:
+// the commitment replaces byte-identical stdout diffs as the replay-
+// exactness oracle, so it must be stable across platforms — which a
+// from-scratch integer-only implementation guarantees.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+
+namespace ssbft {
+
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(const void* data, std::size_t len);
+  void update(const std::string& s) { update(s.data(), s.size()); }
+
+  // Finalizes and returns the 32-byte digest. The hasher must be reset()
+  // before further updates.
+  std::array<std::uint8_t, 32> digest();
+
+  // Lowercase hex of a digest.
+  static std::string hex(const std::array<std::uint8_t, 32>& d);
+
+  // One-shot convenience: hex digest of a whole string.
+  static std::string hash_hex(const std::string& data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint64_t bit_count_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace ssbft

@@ -194,6 +194,52 @@ TEST(AllocationFreeBeat, TargetedDelayDeliveryWithDropsAndPhantoms) {
       << "steady-state beat under delayed delivery touched the heap";
 }
 
+// A trace sink that only counts: the engine-side emission path (record
+// ring, per-node emitters, metrics summary) must keep whole traced beats
+// heap-silent once the ring is bound; JsonlTraceSink is the deliberately
+// allocating boundary, not this contract.
+class CountingTraceSink final : public TraceSink {
+ public:
+  void write(const TraceRecord* records, std::size_t count) override {
+    records_ += count;
+    for (std::size_t i = 0; i < count; ++i) {
+      checksum_ ^= records[i].a + records[i].beat;
+    }
+  }
+  void end_beat(Beat) override { ++beats_; }
+
+  std::size_t records() const { return records_; }
+  std::size_t beats() const { return beats_; }
+  std::uint64_t checksum() const { return checksum_; }
+
+ private:
+  std::size_t records_ = 0;
+  std::size_t beats_ = 0;
+  std::uint64_t checksum_ = 0;
+};
+
+TEST(AllocationFreeBeat, TracedBeatsWithNonAllocatingSink) {
+  EngineConfig cfg;
+  cfg.n = 16;
+  cfg.f = 5;
+  cfg.faulty = EngineConfig::last_ids_faulty(16, 5);
+  cfg.seed = 7;
+  cfg.metrics_history_limit = 8;
+  Engine eng(cfg, steady_factory(), std::make_unique<SteadyAdversary>());
+  CountingTraceSink sink;
+  eng.set_trace(&sink);  // binds the record ring: capacity reserved here
+  eng.run_beats(64);
+  const std::size_t before = g_allocations;
+  const std::size_t records_before = sink.records();
+  eng.run_beats(32);
+  EXPECT_EQ(g_allocations - before, 0u)
+      << "traced steady-state run_beat() touched the heap";
+  // The beats really were traced: one clock record per correct node per
+  // beat plus the engine summary.
+  EXPECT_GE(sink.records() - records_before, 32u * 12u);
+  EXPECT_EQ(sink.beats(), 96u);
+}
+
 TEST(AllocationFreeBeat, WithAdversary) {
   EngineConfig cfg;
   cfg.n = 16;

@@ -10,7 +10,11 @@
 //   3. once the garbage stops (silent suffix), the system still converges.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
 #include "adversary/adversaries.h"
+#include "harness/checker.h"
 #include "agreement/phase_king.h"
 #include "agreement/turpin_coan.h"
 #include "baselines/dolev_welch.h"
@@ -209,6 +213,79 @@ TEST_P(FuzzTest, ConvergesOnceGarbageMeetsItsBudget) {
   ConvergenceConfig cc;
   cc.max_beats = 4000;
   EXPECT_TRUE(measure_convergence(*b.engine, cc).converged);
+}
+
+TEST(FuzzChecker, DecoderNeverCrashesOnMutatedTraces) {
+  // Serialize a real traced run (corruptions, phantoms and fuzz traffic
+  // included), then hammer the offline decoder with truncations, byte
+  // flips, insertions and raw garbage. Every outcome must be a structured
+  // accept-or-reject — never a crash, never UB.
+  auto b = build_stack(Stack::kClockSync, 4, 1, 99, 4);
+  std::ostringstream out;
+  JsonlTraceSink sink(out);
+  TraceMeta meta;
+  meta.scenario = "fuzz";
+  meta.seed = 99;
+  meta.n = 4;
+  meta.f = 1;
+  meta.faulty = {3};
+  meta.max_beats = 30;
+  meta.confirm_window = 12;
+  sink.begin_trace(meta);
+  b.engine->set_trace(&sink);
+  b.engine->run_beats(30);
+  const std::string good = out.str();
+  {
+    std::istringstream in(good);
+    EXPECT_TRUE(parse_trace(in).ok);
+  }
+
+  Rng rng(2024);
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string s = good;
+    switch (rng.next_below(4)) {
+      case 0:  // truncate anywhere, mid-line included
+        s.resize(rng.next_below(s.size() + 1));
+        break;
+      case 1:  // overwrite one byte
+        if (!s.empty()) {
+          s[rng.next_below(s.size())] =
+              static_cast<char>(rng.next_below(256));
+        }
+        break;
+      case 2:  // insert one byte
+        s.insert(rng.next_below(s.size() + 1), 1,
+                 static_cast<char>(rng.next_below(256)));
+        break;
+      default: {  // unstructured garbage
+        s.clear();
+        const std::size_t len = rng.next_below(2000);
+        for (std::size_t i = 0; i < len; ++i) {
+          s.push_back(static_cast<char>(rng.next_below(256)));
+        }
+        break;
+      }
+    }
+    std::istringstream in(s);
+    ParseResult r = parse_trace(in);
+    if (!r.ok) {
+      EXPECT_FALSE(r.error.empty());
+      continue;
+    }
+    // A mutation that still parses must also merge, check and hash
+    // without incident (merge may legitimately reject it).
+    std::vector<ParsedTrace> parts;
+    parts.push_back(std::move(r.trace));
+    MergeResult m = merge_traces(std::move(parts));
+    if (!m.ok) {
+      EXPECT_FALSE(m.error.empty());
+      continue;
+    }
+    for (const ParsedTrace& t : m.traces) {
+      (void)check_trace(t, CheckOptions{});
+      EXPECT_EQ(trace_commitment(t).size(), 64u);
+    }
+  }
 }
 
 TEST(FuzzCodec, ProtocolsIgnoreSelfTargetedGarbageChannels) {

@@ -1,0 +1,487 @@
+// The trace pipeline end to end: every protocol family runs traced and
+// the offline checker (harness/checker.h) verifies the paper's invariants
+// on the produced stream; trace commitments are bit-identical across
+// sweep scheduler widths; tracing never perturbs results; and the decoder
+// rejects malformed or forged input with structured errors, never UB.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/checker.h"
+#include "harness/scenario.h"
+#include "harness/sweep.h"
+#include "sim/engine.h"
+#include "sim/trace.h"
+
+namespace ssbft {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Runs one freshly built world for `beats` beats with a JSONL sink
+// attached and returns the serialized trace.
+std::string run_traced(Family fam, const World& w, std::uint64_t seed,
+                       std::uint64_t beats) {
+  EngineBundle b = build_world(fam, w)(seed);
+  std::ostringstream out;
+  JsonlTraceSink sink(out);
+  TraceMeta meta;
+  meta.scenario = family_name(fam);
+  meta.seed = seed;
+  meta.n = b.engine->n();
+  meta.f = b.engine->f();
+  for (NodeId id = 0; id < b.engine->n(); ++id) {
+    if (b.engine->is_faulty(id)) meta.faulty.push_back(id);
+  }
+  meta.max_beats = beats;
+  meta.confirm_window = 12;
+  sink.begin_trace(meta);
+  b.engine->set_trace(&sink);
+  b.engine->run_beats(beats);
+  return out.str();
+}
+
+ParseResult parse_str(const std::string& s) {
+  std::istringstream in(s);
+  return parse_trace(in);
+}
+
+// parse -> merge -> check of a single serialized trace.
+CheckResult check_str(const std::string& s, const CheckOptions& opts) {
+  ParseResult p = parse_str(s);
+  EXPECT_TRUE(p.ok) << p.error << " at line " << p.error_line;
+  std::vector<ParsedTrace> parts;
+  parts.push_back(std::move(p.trace));
+  MergeResult m = merge_traces(std::move(parts));
+  EXPECT_TRUE(m.ok) << m.error;
+  EXPECT_EQ(m.traces.size(), 1u);
+  return check_trace(m.traces[0], opts);
+}
+
+// ---------------------------------------------------------------------------
+// Every protocol family, traced over 10^4 beats, passes all four offline
+// invariants: agreement after the convergence beat, legal k-clock
+// increments, (with a corruption schedule) re-convergence within a bound,
+// and coin-value agreement among correct nodes.
+
+struct FamilyCase {
+  const char* name;
+  Family fam;
+  World w;
+};
+
+std::vector<FamilyCase> family_cases() {
+  std::vector<FamilyCase> cases;
+  auto add = [&](const char* name, Family fam, std::uint32_t n,
+                 std::uint32_t f, ClockValue k, Attack attack) {
+    World w;
+    w.n = n;
+    w.f = f;
+    w.actual = f;
+    w.k = k;
+    w.attack = attack;
+    cases.push_back({name, fam, w});
+  };
+  add("clock_sync", Family::kClockSync, 4, 1, 8, Attack::kSkew);
+  add("clock4", Family::kClock4, 4, 1, 4, Attack::kSilent);
+  add("clock2", Family::kClock2, 4, 1, 2, Attack::kSilent);
+  add("cascade", Family::kCascade, 4, 1, 4, Attack::kSilent);
+  add("dw", Family::kDolevWelch, 4, 1, 4, Attack::kSilent);
+  add("dw_shared", Family::kDolevWelchShared, 4, 1, 8, Attack::kSilent);
+  add("queen", Family::kPipelinedQueen, 5, 1, 8, Attack::kSilent);
+  add("king", Family::kPipelinedKing, 4, 1, 8, Attack::kSilent);
+  return cases;
+}
+
+TEST(TraceCheck, EveryFamilyPassesAllInvariantsOver10kBeats) {
+  for (const FamilyCase& fc : family_cases()) {
+    SCOPED_TRACE(fc.name);
+    const std::string trace = run_traced(fc.fam, fc.w, 97, 10000);
+    CheckOptions opts;
+    opts.require_convergence = true;
+    const CheckResult res = check_str(trace, opts);
+    EXPECT_TRUE(res.ok) << (res.violations.empty() ? "" : res.violations[0]);
+    EXPECT_TRUE(res.converged);
+    EXPECT_FALSE(res.censored);
+    EXPECT_EQ(res.beats, 10000u);
+    // Families tracing a shared coin must show post-convergence agreement;
+    // the local-coin baselines legitimately trace no coin stream at all.
+    if (res.coin_groups > 0) EXPECT_GE(res.coin_agreement_rate, 0.5);
+  }
+}
+
+TEST(TraceCheck, ScheduledCorruptionIsLegalAndReconvergesWithinBound) {
+  World w;
+  w.n = 4;
+  w.f = 1;
+  w.actual = 1;
+  w.k = 8;
+  w.attack = Attack::kSkew;
+  w.faults.corruptions[3000] = {0, 1};
+  const std::string trace = run_traced(Family::kClockSync, w, 11, 10000);
+
+  CheckOptions opts;
+  opts.require_convergence = true;
+  opts.bound = 6000;
+  const CheckResult res = check_str(trace, opts);
+  EXPECT_TRUE(res.ok) << (res.violations.empty() ? "" : res.violations[0]);
+  EXPECT_TRUE(res.had_corruption);
+  EXPECT_EQ(res.last_corruption, 3000u);
+  EXPECT_TRUE(res.converged);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the commitments of a traced sweep are bit-identical for
+// every --jobs value, and tracing never changes TrialStats.
+
+std::vector<SweepCell> three_cell_grid() {
+  const char* names[] = {"table1/dw/n4", "gallery/split", "net/lossy"};
+  std::vector<SweepCell> cells;
+  for (const char* name : names) {
+    const ScenarioSpec* spec = find_scenario(name);
+    EXPECT_NE(spec, nullptr);
+    RunnerConfig rc = scenario_runner_config(*spec);
+    rc.trials = 3 + cells.size();  // unequal cell sizes
+    rc.convergence.max_beats = 400;
+    cells.push_back(SweepCell{spec->name, build_scenario(*spec), rc});
+  }
+  return cells;
+}
+
+// Parses and merges every .jsonl file in dir; returns the per-trace
+// commitments in canonical (merge-key) order.
+std::vector<std::string> dir_commitments(const std::string& dir) {
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".jsonl") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<ParsedTrace> parsed;
+  for (const std::string& path : paths) {
+    std::ifstream f(path);
+    EXPECT_TRUE(f.good()) << path;
+    ParseResult r = parse_trace(f);
+    EXPECT_TRUE(r.ok) << path << ":" << r.error_line << ": " << r.error;
+    parsed.push_back(std::move(r.trace));
+  }
+  MergeResult merged = merge_traces(std::move(parsed));
+  EXPECT_TRUE(merged.ok) << merged.error;
+  std::vector<std::string> commits;
+  for (const ParsedTrace& t : merged.traces) {
+    commits.push_back(trace_commitment(t));
+  }
+  return commits;
+}
+
+TEST(TraceCheck, CommitmentBitIdenticalAcrossJobs) {
+  const auto cells = three_cell_grid();
+  std::uint64_t total_trials = 0;
+  for (const auto& c : cells) total_trials += c.cfg.trials;
+
+  std::vector<std::string> baseline;
+  for (std::uint64_t jobs : {1ULL, 2ULL, 0ULL}) {
+    const std::string dir =
+        ::testing::TempDir() + "ssbft_trace_jobs" + std::to_string(jobs);
+    fs::remove_all(dir);
+    SweepOptions opts;
+    opts.jobs = jobs;
+    opts.trace_dir = dir;
+    run_sweep(cells, opts);
+
+    const std::vector<std::string> commits = dir_commitments(dir);
+    EXPECT_EQ(commits.size(), total_trials);
+    if (jobs == 1) {
+      baseline = commits;
+    } else {
+      EXPECT_EQ(commits, baseline) << "jobs=" << jobs;
+      EXPECT_EQ(aggregate_commitment(commits),
+                aggregate_commitment(baseline));
+    }
+    fs::remove_all(dir);
+  }
+}
+
+TEST(TraceCheck, TracingNeverPerturbsTrialStats) {
+  const auto cells = three_cell_grid();
+  SweepOptions plain;
+  plain.jobs = 1;
+  const std::vector<TrialStats> base = run_sweep(cells, plain);
+
+  const std::string dir = ::testing::TempDir() + "ssbft_trace_stats";
+  fs::remove_all(dir);
+  SweepOptions traced = plain;
+  traced.trace_dir = dir;
+  const std::vector<TrialStats> with_trace = run_sweep(cells, traced);
+  fs::remove_all(dir);
+
+  ASSERT_EQ(with_trace.size(), base.size());
+  for (std::size_t c = 0; c < base.size(); ++c) {
+    SCOPED_TRACE(cells[c].name);
+    EXPECT_EQ(with_trace[c].trials, base[c].trials);
+    EXPECT_EQ(with_trace[c].converged, base[c].converged);
+    EXPECT_EQ(with_trace[c].samples, base[c].samples);
+    EXPECT_EQ(with_trace[c].mean_msgs_per_beat, base[c].mean_msgs_per_beat);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checker invariants on hand-crafted streams (positive control is above:
+// real runs pass; here each invariant must actually fire).
+
+const char kHeader[] =
+    "{\"type\":\"header\",\"version\":1,\"scenario\":\"t\",\"trial\":0,"
+    "\"seed\":1,\"n\":4,\"f\":1,\"faulty\":[3],\"max_beats\":100,"
+    "\"confirm_window\":3}\n";
+
+std::string clock_line(std::uint64_t beat, std::uint32_t node,
+                       std::uint64_t clock, std::uint64_t k = 4) {
+  return "{\"type\":\"clock\",\"beat\":" + std::to_string(beat) +
+         ",\"node\":" + std::to_string(node) +
+         ",\"clock\":" + std::to_string(clock) +
+         ",\"k\":" + std::to_string(k) + "}\n";
+}
+
+// Ten beats of all three correct nodes in lockstep: converged at beat 0.
+std::string converged_prefix() {
+  std::string s = kHeader;
+  for (std::uint64_t b = 0; b < 10; ++b) {
+    for (std::uint32_t node = 0; node < 3; ++node) {
+      s += clock_line(b, node, b % 4);
+    }
+  }
+  return s;
+}
+
+TEST(TraceCheck, ClosureBreakWithoutCorruptionIsAViolation) {
+  std::string s = converged_prefix();
+  s += clock_line(10, 0, 2);
+  s += clock_line(10, 1, 2);
+  s += clock_line(10, 2, 3);  // disagrees, and no corruption recorded
+  const CheckResult res = check_str(s, CheckOptions{});
+  EXPECT_FALSE(res.ok);
+  ASSERT_FALSE(res.violations.empty());
+  EXPECT_NE(res.violations[0].find("closure broke"), std::string::npos);
+}
+
+TEST(TraceCheck, ClosureBreakOnACorruptionBeatIsLegal) {
+  std::string s = converged_prefix();
+  s += "{\"type\":\"corrupt\",\"beat\":10,\"node\":1}\n";
+  s += clock_line(10, 0, 2);
+  s += clock_line(10, 1, 0);  // the corrupted node diverges
+  s += clock_line(10, 2, 2);
+  const CheckResult res = check_str(s, CheckOptions{});
+  EXPECT_TRUE(res.ok) << (res.violations.empty() ? "" : res.violations[0]);
+  EXPECT_TRUE(res.had_corruption);
+  EXPECT_EQ(res.last_corruption, 10u);
+}
+
+TEST(TraceCheck, ClockValueAtOrAboveModulusIsAViolation) {
+  std::string s = kHeader;
+  s += clock_line(0, 0, 7);  // k = 4
+  s += clock_line(0, 1, 1);
+  s += clock_line(0, 2, 1);
+  const CheckResult res = check_str(s, CheckOptions{});
+  EXPECT_FALSE(res.ok);
+  ASSERT_FALSE(res.violations.empty());
+  EXPECT_NE(res.violations[0].find(">= modulus"), std::string::npos);
+}
+
+TEST(TraceCheck, PostConvergenceCoinDisagreementIsAViolation) {
+  // Same (beat, stream) group, opposite bits, every beat: all-equal rate 0.
+  std::string ordered = kHeader;
+  for (std::uint64_t b = 0; b < 10; ++b) {
+    for (std::uint32_t node = 0; node < 3; ++node) {
+      ordered += clock_line(b, node, b % 4);
+    }
+    ordered += "{\"type\":\"coin\",\"beat\":" + std::to_string(b) +
+               ",\"node\":0,\"stream\":5,\"bit\":0}\n";
+    ordered += "{\"type\":\"coin\",\"beat\":" + std::to_string(b) +
+               ",\"node\":1,\"stream\":5,\"bit\":1}\n";
+  }
+  const CheckResult res = check_str(ordered, CheckOptions{});
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.coin_agreement_rate, 0.0);
+  ASSERT_FALSE(res.violations.empty());
+  EXPECT_NE(res.violations.back().find("coin agreement"), std::string::npos);
+}
+
+TEST(TraceCheck, RequireConvergenceUpgradesCensoredToFailure) {
+  std::string s = kHeader;
+  s += clock_line(0, 0, 0);
+  s += clock_line(0, 1, 1);  // never in agreement
+  s += clock_line(0, 2, 2);
+  const CheckResult censored = check_str(s, CheckOptions{});
+  EXPECT_TRUE(censored.ok);
+  EXPECT_TRUE(censored.censored);
+  CheckOptions strict;
+  strict.require_convergence = true;
+  const CheckResult res = check_str(s, strict);
+  EXPECT_FALSE(res.ok);
+}
+
+// ---------------------------------------------------------------------------
+// Decoder negative paths: structured rejection with a line number.
+
+void expect_parse_error(const std::string& input, const char* needle,
+                        std::size_t line = 0) {
+  const ParseResult r = parse_str(input);
+  EXPECT_FALSE(r.ok) << "expected rejection containing '" << needle << "'";
+  EXPECT_NE(r.error.find(needle), std::string::npos) << r.error;
+  if (line != 0) EXPECT_EQ(r.error_line, line);
+}
+
+TEST(TraceDecode, RejectsTruncatedLine) {
+  expect_parse_error(std::string(kHeader) +
+                         "{\"type\":\"clock\",\"beat\":0,\"node\":0,\"cl",
+                     "unterminated", 2);
+}
+
+TEST(TraceDecode, RejectsOutOfOrderBeats) {
+  expect_parse_error(
+      std::string(kHeader) + clock_line(5, 0, 1) + clock_line(3, 1, 1),
+      "beats out of order", 3);
+}
+
+TEST(TraceDecode, RejectsForgedRecordsFromFaultyNodes) {
+  // Node 3 is declared faulty in the header; a coin record in its name is
+  // a forgery, as is a clock or corrupt record.
+  expect_parse_error(std::string(kHeader) +
+                         "{\"type\":\"coin\",\"beat\":0,\"node\":3,"
+                         "\"stream\":1,\"bit\":0}",
+                     "forged coin record from faulty node 3", 2);
+  expect_parse_error(std::string(kHeader) + clock_line(0, 3, 1),
+                     "forged clock record", 2);
+  expect_parse_error(
+      std::string(kHeader) + "{\"type\":\"corrupt\",\"beat\":0,\"node\":3}",
+      "forged corrupt record", 2);
+}
+
+TEST(TraceDecode, RejectsStructuralGarbage) {
+  expect_parse_error("", "missing header");
+  expect_parse_error("\n", "empty line", 1);
+  expect_parse_error(clock_line(0, 0, 1), "record before header", 1);
+  expect_parse_error(std::string(kHeader) + kHeader, "duplicate header", 2);
+  expect_parse_error(std::string(kHeader) + "{\"type\":\"warp\",\"beat\":0}",
+                     "unknown type", 2);
+  expect_parse_error(std::string(kHeader) +
+                         "{\"type\":\"clock\",\"beat\":0,\"node\":0,"
+                         "\"clock\":1,\"k\":4,\"x\":1}",
+                     "unknown key 'x'", 2);
+  expect_parse_error(std::string(kHeader) +
+                         "{\"type\":\"clock\",\"beat\":0,\"beat\":1,"
+                         "\"node\":0,\"clock\":1,\"k\":4}",
+                     "duplicate key", 2);
+  expect_parse_error(std::string(kHeader) +
+                         "{\"type\":\"coin\",\"beat\":0,\"node\":0,"
+                         "\"stream\":1,\"bit\":2}",
+                     "coin bit out of range", 2);
+  expect_parse_error(std::string(kHeader) + clock_line(0, 9, 1),
+                     "node out of range", 2);
+  expect_parse_error(std::string(kHeader) + clock_line(0, 0, 1, 0),
+                     "zero modulus", 2);
+  expect_parse_error(std::string(kHeader) +
+                         "{\"type\":\"clock\",\"beat\":0,\"node\":-1,"
+                         "\"clock\":1,\"k\":4}",
+                     "unsupported value", 2);
+  expect_parse_error(std::string(kHeader) + clock_line(1, 0, 1) +
+                         clock_line(2, 0, 1, 8),
+                     "modulus mismatch", 3);
+}
+
+TEST(TraceDecode, MergeRejectsMissingNodesAndDuplicateClocks) {
+  // A beat carrying clock records must carry exactly one per correct node.
+  {
+    ParseResult p = parse_str(std::string(kHeader) + clock_line(0, 0, 1) +
+                              clock_line(0, 1, 1));
+    ASSERT_TRUE(p.ok);
+    std::vector<ParsedTrace> parts;
+    parts.push_back(std::move(p.trace));
+    const MergeResult m = merge_traces(std::move(parts));
+    EXPECT_FALSE(m.ok);
+    EXPECT_NE(m.error.find("missing nodes"), std::string::npos) << m.error;
+  }
+  {
+    ParseResult p = parse_str(std::string(kHeader) + clock_line(0, 0, 1) +
+                              clock_line(0, 0, 1) + clock_line(0, 1, 1) +
+                              clock_line(0, 2, 1));
+    ASSERT_TRUE(p.ok);
+    std::vector<ParsedTrace> parts;
+    parts.push_back(std::move(p.trace));
+    const MergeResult m = merge_traces(std::move(parts));
+    EXPECT_FALSE(m.ok);
+    EXPECT_NE(m.error.find("duplicate clock"), std::string::npos) << m.error;
+  }
+}
+
+TEST(TraceDecode, MergeRejectsConflictingHeaders) {
+  ParseResult a = parse_str(std::string(kHeader) + clock_line(0, 0, 1) +
+                            clock_line(0, 1, 1) + clock_line(0, 2, 1));
+  ASSERT_TRUE(a.ok);
+  ParseResult b = parse_str(kHeader);
+  ASSERT_TRUE(b.ok);
+  b.trace.header.max_beats = 999;  // same (scenario, trial, seed), new body
+  std::vector<ParsedTrace> parts;
+  parts.push_back(std::move(a.trace));
+  parts.push_back(std::move(b.trace));
+  const MergeResult m = merge_traces(std::move(parts));
+  EXPECT_FALSE(m.ok);
+  EXPECT_NE(m.error.find("conflicting headers"), std::string::npos) << m.error;
+}
+
+TEST(TraceDecode, MergeFoldsSplitFilesIntoOneCanonicalStream) {
+  // The same run split across two files (clocks here, coins there) must
+  // merge into the identical stream — and thus the identical commitment —
+  // as the single-file serialization.
+  std::string whole = kHeader;
+  std::string clocks = kHeader;
+  std::string coins = kHeader;
+  for (std::uint64_t b = 0; b < 6; ++b) {
+    for (std::uint32_t node = 0; node < 3; ++node) {
+      whole += clock_line(b, node, b % 4);
+      clocks += clock_line(b, node, b % 4);
+    }
+    const std::string coin = "{\"type\":\"coin\",\"beat\":" +
+                             std::to_string(b) +
+                             ",\"node\":0,\"stream\":2,\"bit\":1}\n";
+    whole += coin;
+    coins += coin;
+  }
+  auto merged_commit = [](std::vector<std::string> files) {
+    std::vector<ParsedTrace> parts;
+    for (const std::string& f : files) {
+      ParseResult p = parse_str(f);
+      EXPECT_TRUE(p.ok) << p.error;
+      parts.push_back(std::move(p.trace));
+    }
+    MergeResult m = merge_traces(std::move(parts));
+    EXPECT_TRUE(m.ok) << m.error;
+    EXPECT_EQ(m.traces.size(), 1u);
+    return trace_commitment(m.traces[0]);
+  };
+  EXPECT_EQ(merged_commit({whole}), merged_commit({clocks, coins}));
+  EXPECT_EQ(merged_commit({whole}), merged_commit({coins, clocks}));
+}
+
+TEST(TraceCommitment, SensitiveToContentNotOrderOfAggregation) {
+  ParseResult a = parse_str(std::string(kHeader) + clock_line(0, 0, 1) +
+                            clock_line(0, 1, 1) + clock_line(0, 2, 1));
+  ParseResult b = parse_str(std::string(kHeader) + clock_line(0, 0, 2) +
+                            clock_line(0, 1, 2) + clock_line(0, 2, 2));
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  const std::string ca = trace_commitment(a.trace);
+  const std::string cb = trace_commitment(b.trace);
+  EXPECT_EQ(ca.size(), 64u);
+  EXPECT_NE(ca, cb);
+  EXPECT_EQ(aggregate_commitment({ca, cb}), aggregate_commitment({cb, ca}));
+  EXPECT_NE(aggregate_commitment({ca, cb}), aggregate_commitment({ca, ca}));
+}
+
+}  // namespace
+}  // namespace ssbft
