@@ -10,6 +10,7 @@
 #include "coin/coin_interface.h"
 #include "coin/fm_coin.h"
 #include "coin/oracle_coin.h"
+#include "harness/checker.h"
 #include "sim/delivery.h"
 #include "support/check.h"
 
@@ -25,6 +26,8 @@ void print_usage(const char* prog, std::ostream& os, bool wrapper_note) {
      << " [--trials N] [--jobs J] [--seed S]\n"
         "       [--format ascii|csv|jsonl] [--out FILE] [--progress] "
         "[--trace DIR]\n"
+        "       [--shard I/K] [--checkpoint FILE [--checkpoint-every N] "
+        "[--resume]]\n"
         "  --trials N    override every cell's trial count "
         "(0 = keep per-cell defaults)\n"
         "  --jobs J      worker threads for the sweep scheduler "
@@ -35,11 +38,19 @@ void print_usage(const char* prog, std::ostream& os, bool wrapper_note) {
         "  --format F    ascii (default, the classic tables), csv "
         "(RFC-4180 rows), or jsonl (one object per row)\n"
         "  --out FILE    write the report to FILE instead of stdout\n"
-        "  --progress    stderr progress line (cells done / total)\n"
+        "  --progress    stderr progress line (units done / total)\n"
         "  --trace DIR   write one JSONL execution trace per (cell, trial) "
         "into DIR (the `ssbft_check` tool verifies them and prints their "
         "SHA-256 commitment)\n"
-        "results are bit-identical across --jobs values, traced or not.\n";
+        "  --shard I/K   run only units u with u % K == I of a scenario "
+        "sweep and emit an ssbft-shard-v1 JSONL report; merge the K "
+        "reports with `ssbft_bench merge` (scenario globs only)\n"
+        "  --checkpoint FILE      atomically record completed units every "
+        "--checkpoint-every N units (default 16); a killed sweep "
+        "continues with --resume, bit-identical to an uninterrupted run "
+        "(scenario globs only)\n"
+        "results are bit-identical across --jobs values, traced or not, "
+        "sharded or resumed or neither.\n";
   if (wrapper_note) {
     os << "this binary is a thin wrapper over the `ssbft_bench` driver: "
           "`ssbft_bench list` names every experiment and scenario, "
@@ -100,17 +111,41 @@ BenchOptions parse_cli(const char* prog, int argc, char** argv, int first,
         std::exit(2);
       }
       o.format = *fmt;
+      o.format_set = true;
     } else if (arg == "--out") {
       o.out = take_raw();
     } else if (arg == "--progress") {
       o.progress = true;
     } else if (arg == "--trace") {
       o.trace = take_raw();
+    } else if (arg == "--shard") {
+      const std::string spec = take_raw();
+      const auto parsed = parse_shard_spec(spec);
+      if (!parsed) {
+        std::cerr << prog << ": --shard needs I/K with I < K, got '" << spec
+                  << "'\n";
+        std::exit(2);
+      }
+      o.shard = *parsed;
+    } else if (arg == "--checkpoint") {
+      o.checkpoint = take_raw();
+    } else if (arg == "--checkpoint-every") {
+      take_value(o.checkpoint_every);
+      if (o.checkpoint_every == 0) {
+        std::cerr << prog << ": --checkpoint-every needs N >= 1\n";
+        std::exit(2);
+      }
+    } else if (arg == "--resume") {
+      o.resume = true;
     } else {
       std::cerr << prog << ": unknown option '" << arg
                 << "' (try --help)\n";
       std::exit(2);
     }
+  }
+  if (o.resume && o.checkpoint.empty()) {
+    std::cerr << prog << ": --resume needs --checkpoint FILE\n";
+    std::exit(2);
   }
   return o;
 }
@@ -929,32 +964,60 @@ const Experiment* find_experiment(const std::string& name) {
   return nullptr;
 }
 
-std::ostream* open_report_out(const BenchOptions& o, std::ofstream& file,
+std::ostream* open_report_out(const BenchOptions& o, AtomicOutFile& file,
                               const char* prog) {
   if (o.out.empty()) return &std::cout;
-  file.open(o.out);
-  if (!file) {
+  if (!file.open(o.out)) {
     std::cerr << prog << ": cannot open --out file '" << o.out << "'\n";
     return nullptr;
   }
-  return &file;
+  return &file.stream();
+}
+
+bool commit_report_out(AtomicOutFile& file, const char* prog) {
+  std::string err;
+  if (!file.commit(&err)) {
+    std::cerr << prog << ": " << err << "\n";
+    return false;
+  }
+  return true;
 }
 
 int bench_main(const std::string& experiment, int argc, char** argv) {
   const Experiment* e = find_experiment(experiment);
   SSBFT_CHECK_MSG(e != nullptr, "unregistered experiment " << experiment);
   const BenchOptions o = parse_cli(argv[0], argc, argv);
-  std::ofstream file;
+  if (o.shard.active() || !o.checkpoint.empty() || o.resume) {
+    std::cerr << argv[0]
+              << ": --shard/--checkpoint/--resume apply to scenario sweeps "
+                 "(`ssbft_bench run <glob>`), not experiment tables\n";
+    return 2;
+  }
+  AtomicOutFile file;
   std::ostream* os = open_report_out(o, file, argv[0]);
   if (os == nullptr) return 2;
   Report report(RunMeta{experiment, o.trials, o.seed, o.jobs}, o.format, *os);
   e->run(o, report);
-  return 0;
+  return commit_report_out(file, argv[0]) ? 0 : 2;
 }
 
-void run_scenario_cells(const std::string& pattern,
-                        const std::vector<const ScenarioSpec*>& matched,
-                        const BenchOptions& o, Report& report) {
+// SweepOptions for a scenario sweep, including the crash-safety knobs
+// (the experiment tables keep the plain sweep_options above: several
+// grids share one invocation there, so one checkpoint file can't
+// describe them).
+namespace {
+
+SweepOptions scenario_sweep_options(const BenchOptions& o) {
+  SweepOptions so = sweep_options(o);
+  so.shard = o.shard;
+  so.checkpoint_path = o.checkpoint;
+  so.checkpoint_every = o.checkpoint_every;
+  so.resume = o.resume;
+  return so;
+}
+
+std::vector<SweepCell> scenario_cells(
+    const BenchOptions& o, const std::vector<const ScenarioSpec*>& matched) {
   SSBFT_REQUIRE(!matched.empty());
   std::vector<SweepCell> cells;
   cells.reserve(matched.size());
@@ -962,18 +1025,25 @@ void run_scenario_cells(const std::string& pattern,
     cells.push_back(SweepCell{spec->name, build_scenario(*spec),
                               cell_config(o, *spec)});
   }
+  return cells;
+}
+
+}  // namespace
+
+void render_scenario_table(const std::string& pattern,
+                           const std::vector<const ScenarioSpec*>& specs,
+                           const std::vector<TrialStats>& stats,
+                           Report& report) {
   {
     std::ostringstream os;
-    os << "=== sweep: " << pattern << " (" << cells.size()
-       << (cells.size() == 1 ? " cell" : " cells") << ") ===\n\n";
+    os << "=== sweep: " << pattern << " (" << specs.size()
+       << (specs.size() == 1 ? " cell" : " cells") << ") ===\n\n";
     report.text(os.str());
   }
-  const std::vector<TrialStats> stats = run_sweep(cells, sweep_options(o));
-
   AsciiTable t({"scenario", "family", "n", "f", "adversary", "converged",
                 "mean beats", "median", "p90", "max", "msgs/beat"});
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const ScenarioSpec& spec = *matched[i];
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const ScenarioSpec& spec = *specs[i];
     const TrialStats& s = stats[i];
     t.add_row({spec.name, family_name(spec.family),
                std::to_string(spec.world.n), std::to_string(spec.world.f),
@@ -986,6 +1056,104 @@ void run_scenario_cells(const std::string& pattern,
                fmt_double(s.mean_msgs_per_beat, 1)});
   }
   report.table("cells", t);
+}
+
+void run_scenario_cells(const std::string& pattern,
+                        const std::vector<const ScenarioSpec*>& matched,
+                        const BenchOptions& o, Report& report) {
+  const std::vector<SweepCell> cells = scenario_cells(o, matched);
+  const SweepResult res = run_sweep_ex(cells, scenario_sweep_options(o));
+  render_scenario_table(pattern, matched, res.stats, report);
+}
+
+void run_shard_cells(const std::string& pattern,
+                     const std::vector<const ScenarioSpec*>& matched,
+                     const BenchOptions& o, std::ostream& out) {
+  const std::vector<SweepCell> cells = scenario_cells(o, matched);
+  SweepOptions so = scenario_sweep_options(o);
+  // Commitments make the merged report (and CI) able to attest replay
+  // exactness; they exist only when traces do.
+  so.collect_commitments = !o.trace.empty();
+  const SweepResult res = run_sweep_ex(cells, so);
+
+  ShardHeader header = shard_header_for(cells, o.shard, pattern);
+  header.cli_seed = o.seed;
+  header.cli_trials = o.trials;
+  out << encode_shard_header(header);
+  for (const SweepUnitResult& u : res.units) {
+    ShardUnitRow row;
+    row.unit = u.unit;
+    row.cell = u.cell;
+    row.trial = u.trial;
+    row.outcome = u.outcome;
+    out << encode_shard_unit(row);
+  }
+}
+
+int merge_shard_reports(const std::vector<std::string>& paths,
+                        const BenchOptions& o, bool commitment_only) {
+  std::vector<ShardFile> files;
+  files.reserve(paths.size());
+  for (const std::string& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "ssbft_bench: cannot open '" << path << "'\n";
+      return 2;
+    }
+    ShardParse parsed = parse_shard_file(in);
+    if (!parsed.ok) {
+      std::cerr << "ssbft_bench: " << path << ":" << parsed.error_line << ": "
+                << parsed.error << "\n";
+      return 2;
+    }
+    files.push_back(std::move(parsed.file));
+  }
+  ShardMerge m = merge_shard_files(std::move(files));
+  if (!m.ok) {
+    std::cerr << "ssbft_bench: " << m.error << "\n";
+    return 2;
+  }
+  if (commitment_only && !m.have_commitments) {
+    std::cerr << "ssbft_bench: shard reports carry no trace commitments "
+                 "(rerun the shards with --trace)\n";
+    return 2;
+  }
+  // Resolve the cells against this binary's registry before opening
+  // --out, so registry drift never truncates an existing results file.
+  std::vector<const ScenarioSpec*> specs;
+  specs.reserve(m.header.cells.size());
+  for (const ShardCellInfo& c : m.header.cells) {
+    const ScenarioSpec* spec = find_scenario(c.name);
+    if (spec == nullptr) {
+      std::cerr << "ssbft_bench: shard reports reference scenario '" << c.name
+                << "', which this binary's registry does not contain "
+                   "(version drift between shard run and merge?)\n";
+      return 2;
+    }
+    specs.push_back(spec);
+  }
+
+  AtomicOutFile file;
+  std::ostream* os = open_report_out(o, file, "ssbft_bench");
+  if (os == nullptr) return 2;
+  if (commitment_only) {
+    *os << aggregate_commitment(m.commitments) << "\n";
+  } else {
+    std::vector<TrialStats> stats;
+    stats.reserve(m.per_cell.size());
+    for (const auto& cell_outcomes : m.per_cell) {
+      stats.push_back(merge_outcomes(cell_outcomes));
+    }
+    Report report(
+        RunMeta{m.header.pattern, m.header.cli_trials, m.header.cli_seed, 0},
+        o.format, *os);
+    render_scenario_table(m.header.pattern, specs, stats, report);
+    if (m.have_commitments) {
+      report.text("\naggregate trace commitment: " +
+                  aggregate_commitment(m.commitments) + "\n");
+    }
+  }
+  return commit_report_out(file, "ssbft_bench") ? 0 : 2;
 }
 
 }  // namespace ssbft::bench

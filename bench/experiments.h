@@ -23,9 +23,19 @@ struct BenchOptions {
   std::uint64_t seed = 0;    // offset added to every cell's base seed
   std::uint64_t jobs = 0;    // sweep worker threads
   ReportFormat format = ReportFormat::kAscii;
+  bool format_set = false;   // --format was given explicitly
   std::string out;           // --out FILE (empty = stdout)
-  bool progress = false;     // stderr cells-done progress line
+  bool progress = false;     // stderr units-done progress line
   std::string trace;         // --trace DIR: per-(cell, trial) JSONL traces
+  // --shard i/k: run only the slice u % k == i of the sweep's global
+  // (cell, trial) unit sequence and emit an ssbft-shard-v1 report
+  // (scenario globs only; merge the k reports with `ssbft_bench merge`).
+  ShardSpec shard;
+  // --checkpoint FILE [--checkpoint-every N] [--resume]: crash-safe
+  // sweeps (scenario globs only; see harness/checkpoint.h).
+  std::string checkpoint;
+  std::uint64_t checkpoint_every = 16;
+  bool resume = false;
 };
 
 // Parses argv[first..) into a BenchOptions value; prints usage and exits
@@ -69,19 +79,49 @@ const Experiment* find_experiment(const std::string& name);
 int bench_main(const std::string& experiment, int argc, char** argv);
 
 // Resolves --out into the stream the report writes to: stdout when empty,
-// else `file` opened (and truncated) at o.out. Returns nullptr after
-// printing an error when the file cannot be opened — callers must
-// validate everything else (e.g. the run target) *before* calling, so a
-// failed run never truncates an existing results file.
-std::ostream* open_report_out(const BenchOptions& o, std::ofstream& file,
+// else `file` opened at o.out (staged to o.out + ".tmp" and published by
+// commit_report_out, so a crashed run never leaves a half-written
+// report). Returns nullptr after printing an error when the file cannot
+// be opened — callers must validate everything else (e.g. the run
+// target) *before* calling, so a failed run never clobbers an existing
+// results file.
+std::ostream* open_report_out(const BenchOptions& o, AtomicOutFile& file,
                               const char* prog);
+
+// Publishes a report opened by open_report_out (no-op for stdout).
+// False after printing an error on I/O failure.
+bool commit_report_out(AtomicOutFile& file, const char* prog);
 
 // Driver helper: run an already-matched, non-empty set of registry
 // scenarios (see match_scenarios) as one sweep and report a generic
 // per-cell table. Taking the matched set lets the driver validate the
-// pattern *before* opening/truncating --out.
+// pattern *before* opening/truncating --out. Honors --checkpoint /
+// --resume (but not --shard — that is run_shard_cells).
 void run_scenario_cells(const std::string& pattern,
                         const std::vector<const ScenarioSpec*>& matched,
                         const BenchOptions& o, Report& report);
+
+// The per-cell scenario table shared by run_scenario_cells and
+// merge_shard_reports, so a merged report is byte-identical to the
+// unsharded run's. specs and stats are parallel, in cell order.
+void render_scenario_table(const std::string& pattern,
+                           const std::vector<const ScenarioSpec*>& specs,
+                           const std::vector<TrialStats>& stats,
+                           Report& report);
+
+// Driver helper: run one shard of a scenario sweep and write the
+// ssbft-shard-v1 JSONL report (with per-unit trace commitments when
+// --trace is on) to `out`.
+void run_shard_cells(const std::string& pattern,
+                     const std::vector<const ScenarioSpec*>& matched,
+                     const BenchOptions& o, std::ostream& out);
+
+// `ssbft_bench merge`: parse + validate + fold shard reports, then render
+// the standard scenario table (or, with commitment_only, print just the
+// aggregate trace commitment — `ssbft_check --commitment-only`'s shape).
+// Returns the process exit code; every rejection is one structured
+// stderr line.
+int merge_shard_reports(const std::vector<std::string>& paths,
+                        const BenchOptions& o, bool commitment_only);
 
 }  // namespace ssbft::bench

@@ -2,13 +2,18 @@
 // subsystem. `list` names every registered experiment and scenario cell;
 // `run` executes an experiment by name or any set of scenario cells by
 // glob, scheduling all (cell, trial) units through one global sweep
-// queue. The historical bench_* binaries are thin wrappers over the same
-// registry (`bench_table1` == `ssbft_bench run table1`).
+// queue — optionally one shard of it (--shard i/k) with crash-safe
+// checkpoints (--checkpoint/--resume); `merge` folds shard reports back
+// into the unsharded table, bit for bit. The historical bench_* binaries
+// are thin wrappers over the same registry (`bench_table1` ==
+// `ssbft_bench run table1`).
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "experiments.h"
+#include "support/check.h"
 
 using namespace ssbft;
 using namespace ssbft::bench;
@@ -21,9 +26,12 @@ int usage(std::ostream& os, int code) {
         "scenarios\n"
         "  run <name|glob> [options]  run an experiment, or every scenario "
         "cell matching a glob\n"
+        "  merge <report...>          fold ssbft-shard-v1 reports (from "
+        "`run --shard`) into one table\n"
         "run options: [--trials N] [--jobs J] [--seed S]\n"
         "             [--format ascii|csv|jsonl] [--out FILE] [--trace DIR]\n"
-        "             [--progress]\n"
+        "             [--progress] [--shard I/K]\n"
+        "             [--checkpoint FILE [--checkpoint-every N] [--resume]]\n"
         "  --trials N   override every cell's trial count (0 = per-cell "
         "defaults)\n"
         "  --jobs J     sweep worker threads (default/0: one per hardware "
@@ -33,13 +41,33 @@ int usage(std::ostream& os, int code) {
         "  --out FILE   write the report to FILE instead of stdout\n"
         "  --trace DIR  write one JSONL execution trace per (cell, trial)\n"
         "               into DIR; verify them with `ssbft_check DIR`\n"
-        "  --progress   stderr progress line (cells done / total)\n"
+        "  --progress   stderr progress line (units done / total)\n"
+        "  --shard I/K  run only the slice u % K == I of the sweep's unit\n"
+        "               sequence and emit an ssbft-shard-v1 JSONL report\n"
+        "               (scenario globs only; seeds stay per-cell, so the\n"
+        "               merged result is bit-identical to an unsharded "
+        "run)\n"
+        "  --checkpoint FILE  atomically record completed units (every\n"
+        "               --checkpoint-every N, default 16); --resume "
+        "continues\n"
+        "               a killed sweep bit-identically (scenario globs "
+        "only)\n"
+        "merge options: [--format ascii|csv|jsonl] [--out FILE] "
+        "[--commitment-only]\n"
+        "  --commitment-only  print just the aggregate SHA-256 trace\n"
+        "               commitment (shards must have run with --trace);\n"
+        "               matches `ssbft_check --commitment-only`\n"
         "examples:\n"
         "  ssbft_bench list 'net/*'\n"
         "  ssbft_bench run table1 --trials 2 --jobs 2\n"
         "  ssbft_bench run 'gallery/*' --format jsonl\n"
         "  ssbft_bench run net/baseline --trace traces && ssbft_check "
-        "traces\n";
+        "traces\n"
+        "  ssbft_bench run 'gallery/*' --shard 0/2 --out a.jsonl   # box A\n"
+        "  ssbft_bench run 'gallery/*' --shard 1/2 --out b.jsonl   # box B\n"
+        "  ssbft_bench merge a.jsonl b.jsonl\n"
+        "  ssbft_bench run 'net/*' --checkpoint net.ckpt --progress\n"
+        "  ssbft_bench run 'net/*' --checkpoint net.ckpt --resume\n";
   return code;
 }
 
@@ -100,17 +128,78 @@ int run_command(const std::string& name, const BenchOptions& o) {
               << "' (try `ssbft_bench list`)\n";
     return 2;
   }
-  std::ofstream file;
+  if (e != nullptr &&
+      (o.shard.active() || !o.checkpoint.empty() || o.resume)) {
+    std::cerr << "ssbft_bench: --shard/--checkpoint/--resume apply to "
+                 "scenario sweeps (globs), not the experiment tables; "
+                 "'" << name << "' is an experiment\n";
+    return 2;
+  }
+  if (o.shard.active() && o.format_set && o.format != ReportFormat::kJsonl) {
+    std::cerr << "ssbft_bench: a --shard run always writes an "
+                 "ssbft-shard-v1 JSONL report; --format "
+              << report_format_name(o.format)
+              << " applies to `ssbft_bench merge` instead\n";
+    return 2;
+  }
+  AtomicOutFile file;
   std::ostream* os = open_report_out(o, file, "ssbft_bench");
   if (os == nullptr) return 2;
 
-  Report report(RunMeta{name, o.trials, o.seed, o.jobs}, o.format, *os);
   if (e != nullptr) {
+    Report report(RunMeta{name, o.trials, o.seed, o.jobs}, o.format, *os);
     e->run(o, report);
+  } else if (o.shard.active()) {
+    run_shard_cells(name, matched, o, *os);
   } else {
+    Report report(RunMeta{name, o.trials, o.seed, o.jobs}, o.format, *os);
     run_scenario_cells(name, matched, o, report);
   }
-  return 0;
+  return commit_report_out(file, "ssbft_bench") ? 0 : 2;
+}
+
+int merge_command(int argc, char** argv) {
+  BenchOptions o;
+  bool commitment_only = false;
+  std::vector<std::string> paths;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto take_raw = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "ssbft_bench merge: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (arg == "--format") {
+      const std::string fmt_name = take_raw();
+      const auto fmt = parse_report_format(fmt_name);
+      if (!fmt) {
+        std::cerr << "ssbft_bench merge: unknown --format '" << fmt_name
+                  << "' (ascii, csv or jsonl)\n";
+        return 2;
+      }
+      o.format = *fmt;
+    } else if (arg == "--out") {
+      o.out = take_raw();
+    } else if (arg == "--commitment-only") {
+      commitment_only = true;
+    } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      std::cerr << "ssbft_bench merge: unknown option '" << arg
+                << "' (try --help)\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "ssbft_bench: merge needs at least one ssbft-shard-v1 "
+                 "report (from `ssbft_bench run --shard`)\n";
+    return 2;
+  }
+  return merge_shard_reports(paths, o, commitment_only);
 }
 
 }  // namespace
@@ -118,22 +207,32 @@ int run_command(const std::string& name, const BenchOptions& o) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage(std::cerr, 2);
   const std::string command = argv[1];
-  if (command == "--help" || command == "-h" || command == "help") {
-    return usage(std::cout, 0);
-  }
-  if (command == "list") {
-    if (argc > 3) return usage(std::cerr, 2);
-    return list_command(argc == 3 ? argv[2] : "*");
-  }
-  if (command == "run") {
-    if (argc < 3) {
-      std::cerr << "ssbft_bench: run needs an experiment name or scenario "
-                   "glob (try `ssbft_bench list`)\n";
-      return 2;
+  try {
+    if (command == "--help" || command == "-h" || command == "help") {
+      return usage(std::cout, 0);
     }
-    const BenchOptions o = parse_cli("ssbft_bench run", argc, argv, 3,
-                                     /*wrapper_note=*/false);
-    return run_command(argv[2], o);
+    if (command == "list") {
+      if (argc > 3) return usage(std::cerr, 2);
+      return list_command(argc == 3 ? argv[2] : "*");
+    }
+    if (command == "run") {
+      if (argc < 3) {
+        std::cerr << "ssbft_bench: run needs an experiment name or scenario "
+                     "glob (try `ssbft_bench list`)\n";
+        return 2;
+      }
+      const BenchOptions o = parse_cli("ssbft_bench run", argc, argv, 3,
+                                       /*wrapper_note=*/false);
+      return run_command(argv[2], o);
+    }
+    if (command == "merge") {
+      return merge_command(argc, argv);
+    }
+  } catch (const contract_error& e) {
+    // Unresumable checkpoints, unwritable checkpoints, unreadable trace
+    // files: one structured line, nonzero exit, no stack dump.
+    std::cerr << "ssbft_bench: error: " << e.what() << "\n";
+    return 2;
   }
   std::cerr << "ssbft_bench: unknown command '" << command << "'\n";
   return usage(std::cerr, 2);

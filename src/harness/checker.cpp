@@ -7,188 +7,18 @@
 #include <optional>
 #include <tuple>
 
+#include "harness/jsonl.h"
 #include "support/sha256.h"
 
 namespace ssbft {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Strict flat-JSON line decoding. The sink emits one small flat object per
-// line whose values are strings, unsigned integers or arrays of unsigned
-// integers; anything else is rejected. No recursion, no floats, no
-// negative numbers, no nested containers.
-
-struct LineValues {
-  std::vector<std::pair<std::string, std::uint64_t>> ints;
-  std::vector<std::pair<std::string, std::string>> strs;
-  std::vector<std::pair<std::string, std::vector<std::uint64_t>>> arrs;
-
-  bool has(const std::string& key) const {
-    for (const auto& [k, v] : ints) {
-      if (k == key) return true;
-    }
-    for (const auto& [k, v] : strs) {
-      if (k == key) return true;
-    }
-    for (const auto& [k, v] : arrs) {
-      if (k == key) return true;
-    }
-    return false;
-  }
-};
-
-class LineScanner {
- public:
-  explicit LineScanner(const std::string& s) : s_(s) {}
-
-  bool parse(LineValues& out, std::string& err) {
-    if (!lit('{')) return fail(err, "expected '{'");
-    ws();
-    if (peek() == '}') {
-      ++i_;
-      return finish(err);
-    }
-    while (true) {
-      std::string key;
-      if (!parse_string(key, err)) return false;
-      if (out.has(key)) return fail(err, "duplicate key '" + key + "'");
-      if (!lit(':')) return fail(err, "expected ':' after key '" + key + "'");
-      ws();
-      const char c = peek();
-      if (c == '"') {
-        std::string v;
-        if (!parse_string(v, err)) return false;
-        out.strs.emplace_back(std::move(key), std::move(v));
-      } else if (c == '[') {
-        ++i_;
-        std::vector<std::uint64_t> v;
-        ws();
-        if (peek() == ']') {
-          ++i_;
-        } else {
-          while (true) {
-            std::uint64_t u = 0;
-            if (!parse_uint(u, err)) return false;
-            v.push_back(u);
-            if (lit(',')) continue;
-            if (lit(']')) break;
-            return fail(err, "expected ',' or ']' in array");
-          }
-        }
-        out.arrs.emplace_back(std::move(key), std::move(v));
-      } else if (c >= '0' && c <= '9') {
-        std::uint64_t u = 0;
-        if (!parse_uint(u, err)) return false;
-        out.ints.emplace_back(std::move(key), u);
-      } else {
-        return fail(err, "unsupported value (only strings, unsigned "
-                         "integers and integer arrays are legal)");
-      }
-      if (lit(',')) continue;
-      if (lit('}')) break;
-      return fail(err, "expected ',' or '}'");
-    }
-    return finish(err);
-  }
-
- private:
-  bool finish(std::string& err) {
-    ws();
-    if (i_ != s_.size()) return fail(err, "trailing characters after '}'");
-    return true;
-  }
-
-  static bool fail(std::string& err, std::string msg) {
-    err = std::move(msg);
-    return false;
-  }
-
-  char peek() const { return i_ < s_.size() ? s_[i_] : '\0'; }
-  void ws() {
-    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t')) ++i_;
-  }
-  bool lit(char c) {
-    ws();
-    if (i_ < s_.size() && s_[i_] == c) {
-      ++i_;
-      return true;
-    }
-    return false;
-  }
-
-  bool parse_string(std::string& out, std::string& err) {
-    if (!lit('"')) return fail(err, "expected '\"'");
-    out.clear();
-    while (true) {
-      if (i_ >= s_.size()) return fail(err, "unterminated string");
-      const char c = s_[i_++];
-      if (c == '"') return true;
-      if (static_cast<unsigned char>(c) < 0x20) {
-        return fail(err, "raw control character in string");
-      }
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      if (i_ >= s_.size()) return fail(err, "unterminated escape");
-      const char e = s_[i_++];
-      switch (e) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'n': out.push_back('\n'); break;
-        case 'r': out.push_back('\r'); break;
-        case 't': out.push_back('\t'); break;
-        case 'u': {
-          if (i_ + 4 > s_.size()) return fail(err, "truncated \\u escape");
-          std::uint32_t code = 0;
-          for (int j = 0; j < 4; ++j) {
-            const char h = s_[i_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<std::uint32_t>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<std::uint32_t>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<std::uint32_t>(h - 'A' + 10);
-            else return fail(err, "bad hex digit in \\u escape");
-          }
-          // The sink only escapes control bytes; anything wider is noise.
-          if (code > 0xFF) return fail(err, "\\u escape out of byte range");
-          out.push_back(static_cast<char>(code));
-          break;
-        }
-        default:
-          return fail(err, "unsupported escape");
-      }
-    }
-  }
-
-  bool parse_uint(std::uint64_t& out, std::string& err) {
-    ws();
-    if (peek() == '-') return fail(err, "negative numbers are not legal");
-    if (!(peek() >= '0' && peek() <= '9')) return fail(err, "expected digit");
-    out = 0;
-    while (peek() >= '0' && peek() <= '9') {
-      const std::uint64_t d = static_cast<std::uint64_t>(s_[i_++] - '0');
-      if (out > (UINT64_MAX - d) / 10) return fail(err, "integer overflow");
-      out = out * 10 + d;
-    }
-    const char c = peek();
-    if (c == '.' || c == 'e' || c == 'E') {
-      return fail(err, "non-integer numbers are not legal");
-    }
-    return true;
-  }
-
-  const std::string& s_;
-  std::size_t i_ = 0;
-};
-
-const std::uint64_t* find_int(const LineValues& v, const char* key) {
-  for (const auto& [k, val] : v.ints) {
-    if (k == key) return &val;
-  }
-  return nullptr;
-}
+// Strict flat-JSON line decoding lives in harness/jsonl.h (shared with the
+// shard/checkpoint codec): values are strings, unsigned integers or arrays
+// of unsigned integers; anything else is rejected.
+using jsonl::LineValues;
+using jsonl::find_int;
 
 // Requires the line's integer keys to be exactly `keys`, its only string
 // key to be "type", and (unless allow_arrays) no arrays at all.
@@ -331,7 +161,7 @@ ParseResult parse_trace(std::istream& in) {
     if (line.empty()) return fail("empty line");
     LineValues v;
     std::string err;
-    if (!LineScanner(line).parse(v, err)) return fail(err);
+    if (!jsonl::parse_line(line, v, err)) return fail(err);
 
     std::string type;
     for (const auto& [k, s] : v.strs) {

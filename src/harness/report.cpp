@@ -1,8 +1,65 @@
 #include "harness/report.h"
 
 #include <cstdio>
+#include <filesystem>
 
 namespace ssbft {
+
+AtomicOutFile::~AtomicOutFile() {
+  if (tmp_path_.empty()) return;
+  // Opened but never committed: drop the temporary, keep whatever the
+  // target held before.
+  out_.close();
+  std::error_code ec;
+  std::filesystem::remove(tmp_path_, ec);
+}
+
+bool AtomicOutFile::open(const std::string& path) {
+  final_path_ = path;
+  std::error_code ec;
+  const auto st = std::filesystem::status(path, ec);
+  const bool regular_or_absent =
+      !std::filesystem::exists(st) || std::filesystem::is_regular_file(st);
+  if (regular_or_absent) {
+    tmp_path_ = path + ".tmp";
+    out_.open(tmp_path_, std::ios::binary | std::ios::trunc);
+    if (!out_.is_open()) tmp_path_.clear();
+  } else {
+    // /dev/null, pipes, ttys: rename is impossible and atomicity
+    // meaningless — write straight through.
+    out_.open(path, std::ios::binary | std::ios::trunc);
+  }
+  return out_.is_open();
+}
+
+bool AtomicOutFile::commit(std::string* error) {
+  if (final_path_.empty()) return true;  // open() was never called
+  out_.flush();
+  const bool wrote_ok = static_cast<bool>(out_);
+  out_.close();
+  if (tmp_path_.empty()) {
+    if (!wrote_ok && error) *error = "write to '" + final_path_ + "' failed";
+    return wrote_ok;
+  }
+  const std::string tmp = tmp_path_;
+  tmp_path_.clear();  // the destructor must not remove a published file
+  if (!wrote_ok) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    if (error) *error = "write to '" + tmp + "' failed";
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, final_path_, ec);
+  if (ec) {
+    if (error) {
+      *error = "rename '" + tmp + "' -> '" + final_path_ + "': " + ec.message();
+    }
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
 
 std::optional<ReportFormat> parse_report_format(const std::string& s) {
   if (s == "ascii") return ReportFormat::kAscii;

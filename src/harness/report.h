@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -32,6 +33,34 @@ struct RunMeta {
 
 // JSON string-literal escaping (quotes, backslashes, control chars).
 std::string json_escape(const std::string& s);
+
+// Crash-safe report/artifact output: writes "<path>.tmp" and renames it
+// onto the target at commit(), so readers (and a merge picking up shard
+// reports) never observe a half-written file. Non-regular targets — pipes,
+// /dev/null, character devices — cannot be renamed onto, so those are
+// written directly. An AtomicOutFile destroyed without commit() removes
+// its temporary and leaves any previous version of the target untouched.
+class AtomicOutFile {
+ public:
+  AtomicOutFile() = default;
+  ~AtomicOutFile();
+  AtomicOutFile(const AtomicOutFile&) = delete;
+  AtomicOutFile& operator=(const AtomicOutFile&) = delete;
+
+  // Opens the output; false on I/O failure. Calling open twice is a bug.
+  bool open(const std::string& path);
+  bool is_open() const { return out_.is_open(); }
+  std::ostream& stream() { return out_; }
+
+  // Flushes and publishes (renames tmp onto the target when staged).
+  // False + *error on failure; the temporary is cleaned up either way.
+  bool commit(std::string* error = nullptr);
+
+ private:
+  std::ofstream out_;
+  std::string final_path_;
+  std::string tmp_path_;  // empty = direct (non-atomic) write
+};
 
 class Report {
  public:

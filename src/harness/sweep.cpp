@@ -1,6 +1,9 @@
 // Implements both the cross-cell sweep scheduler and the single-cell
 // run_trials entry point on one shared (claim, run, merge) core, so the
-// two paths cannot drift apart numerically.
+// two paths cannot drift apart numerically. Sharding, checkpointing and
+// resume all ride the same core: a shard is just a slice of the global
+// unit sequence, and a resumed unit is one whose outcome arrives from the
+// checkpoint instead of the engine.
 #include "harness/sweep.h"
 
 #include <algorithm>
@@ -8,11 +11,14 @@
 #include <cstdio>
 #include <exception>
 #include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <thread>
 
+#include "harness/checker.h"
 #include "sim/trace.h"
 #include "support/check.h"
+#include "support/sha256.h"
 
 namespace ssbft {
 
@@ -27,14 +33,6 @@ double percentile(const std::vector<std::uint64_t>& sorted, double q) {
   return static_cast<double>(sorted[lo]) * (1.0 - frac) +
          static_cast<double>(sorted[hi]) * frac;
 }
-
-// What one trial contributes to the aggregate, captured per index so that
-// workers never contend and the merge can run in trial order.
-struct TrialOutcome {
-  bool converged = false;
-  std::uint64_t synced_at = 0;
-  double msgs_per_beat = 0.0;
-};
 
 std::uint64_t effective_jobs(std::uint64_t requested, std::uint64_t units) {
   const unsigned hw_raw = std::thread::hardware_concurrency();
@@ -57,6 +55,43 @@ std::string sanitize_for_path(const std::string& name) {
   return out;
 }
 
+std::string trace_path_for(const SweepOptions& opts, const std::string& cell,
+                           std::uint64_t trial) {
+  return opts.trace_dir + "/" + sanitize_for_path(cell) + ".t" +
+         std::to_string(trial) + ".jsonl";
+}
+
+// Parse -> merge -> commit on one unit's trace file: identical to what
+// ssbft_check would compute, so the sweep's per-unit commitments are the
+// replay-exactness oracle. Each unit's (scenario, trial, seed) is unique,
+// so the merge is a one-file canonicalization.
+// Environment failures (unreadable trace files, unresumable checkpoints,
+// unwritable checkpoint paths) throw contract_error with a message that
+// stands alone — the CLI prints it verbatim, so no macro expression noise.
+[[noreturn]] void sweep_fail(const std::string& msg) {
+  throw contract_error(msg);
+}
+
+std::string commitment_from_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    sweep_fail("cannot open trace file " + path +
+               " to compute its commitment");
+  }
+  ParseResult parsed = parse_trace(in);
+  if (!parsed.ok) {
+    sweep_fail("trace file " + path + " line " +
+               std::to_string(parsed.error_line) + ": " + parsed.error);
+  }
+  std::vector<ParsedTrace> parts;
+  parts.push_back(std::move(parsed.trace));
+  MergeResult merged = merge_traces(std::move(parts));
+  if (!merged.ok || merged.traces.size() != 1) {
+    sweep_fail("trace file " + path + ": " + merged.error);
+  }
+  return trace_commitment(merged.traces[0]);
+}
+
 TrialOutcome run_unit(const SweepCell& cell, std::uint64_t t,
                       const SweepOptions& opts) {
   EngineBundle bundle = cell.builder(cell.cfg.base_seed + t);
@@ -66,11 +101,9 @@ TrialOutcome run_unit(const SweepCell& cell, std::uint64_t t,
   // never touches its trace sink.
   std::unique_ptr<JsonlTraceSink> sink;
   if (!opts.trace_dir.empty()) {
-    const std::string path = opts.trace_dir + "/" +
-                             sanitize_for_path(cell.name) + ".t" +
-                             std::to_string(t) + ".jsonl";
+    const std::string path = trace_path_for(opts, cell.name, t);
     sink = std::make_unique<JsonlTraceSink>(path);
-    SSBFT_REQUIRE_MSG(sink->ok(), "cannot open trace file " << path);
+    if (!sink->ok()) sweep_fail("cannot open trace file " + path);
     TraceMeta meta;
     meta.scenario = cell.name;
     meta.trial = t;
@@ -87,9 +120,14 @@ TrialOutcome run_unit(const SweepCell& cell, std::uint64_t t,
   }
   const ConvergenceResult r =
       measure_convergence(*bundle.engine, cell.cfg.convergence);
-  return {r.converged, r.synced_at,
-          bundle.engine->metrics().mean_correct_messages_per_beat()};
+  TrialOutcome out;
+  out.converged = r.converged;
+  out.synced_at = r.synced_at;
+  out.msgs_per_beat = bundle.engine->metrics().mean_correct_messages_per_beat();
+  return out;
 }
+
+}  // namespace
 
 // Merge in trial order: sample order and floating-point accumulation
 // order are fixed by the trial index, never by completion order.
@@ -120,57 +158,189 @@ TrialStats merge_outcomes(const std::vector<TrialOutcome>& outcomes) {
   return stats;
 }
 
-}  // namespace
+std::string sweep_fingerprint(const std::vector<SweepCell>& cells) {
+  std::string acc = "ssbft-grid-v1\n";
+  for (const SweepCell& c : cells) {
+    acc += c.name;
+    acc += '|';
+    acc += std::to_string(c.cfg.trials);
+    acc += '|';
+    acc += std::to_string(c.cfg.base_seed);
+    acc += '|';
+    acc += std::to_string(c.cfg.convergence.max_beats);
+    acc += '|';
+    acc += std::to_string(c.cfg.convergence.confirm_window);
+    acc += '\n';
+  }
+  return Sha256::hash_hex(acc);
+}
 
-std::vector<TrialStats> run_sweep(const std::vector<SweepCell>& cells,
-                                  const SweepOptions& opts) {
+ShardHeader shard_header_for(const std::vector<SweepCell>& cells,
+                             const ShardSpec& shard,
+                             const std::string& pattern) {
+  ShardHeader h;
+  h.pattern = pattern;
+  h.shard = shard;
+  h.fingerprint = sweep_fingerprint(cells);
+  for (const SweepCell& c : cells) {
+    h.total_units += c.cfg.trials;
+    h.cells.push_back(ShardCellInfo{c.name, c.cfg.trials, c.cfg.base_seed});
+  }
+  return h;
+}
+
+SweepResult run_sweep_ex(const std::vector<SweepCell>& cells,
+                         const SweepOptions& opts) {
+  SSBFT_REQUIRE_MSG(opts.shard.count >= 1 && opts.shard.index < opts.shard.count,
+                    "invalid shard spec " << opts.shard.index << "/"
+                                          << opts.shard.count);
+  SSBFT_REQUIRE_MSG(opts.checkpoint_every >= 1,
+                    "checkpoint interval must be >= 1");
+  SSBFT_REQUIRE_MSG(!opts.collect_commitments || !opts.trace_dir.empty(),
+                    "trace commitments require a trace directory");
+  SSBFT_REQUIRE_MSG(!opts.resume || !opts.checkpoint_path.empty(),
+                    "resume requires a checkpoint path");
+
   // Flatten the grid into one unit list: unit u = (cell_of[u],
   // trial_of[u]), cells in order, trials in order within each cell — so a
-  // serial walk is exactly "run_trials per cell".
+  // serial walk is exactly "run_trials per cell". Sharding and
+  // checkpointing both speak this global index.
   std::vector<std::uint32_t> cell_of;
   std::vector<std::uint64_t> trial_of;
-  std::vector<std::vector<TrialOutcome>> outcomes(cells.size());
   for (std::size_t c = 0; c < cells.size(); ++c) {
-    outcomes[c].resize(cells[c].cfg.trials);
     for (std::uint64_t t = 0; t < cells[c].cfg.trials; ++t) {
       cell_of.push_back(static_cast<std::uint32_t>(c));
       trial_of.push_back(t);
     }
   }
-  const std::uint64_t units = cell_of.size();
+  const std::uint64_t total = cell_of.size();
+
+  // This run's slice of the sequence, ascending: position j holds unit
+  // index + j*count, so a restored unit maps back via (u - index) / count.
+  std::vector<std::uint64_t> slice;
+  for (std::uint64_t u = opts.shard.index; u < total; u += opts.shard.count) {
+    slice.push_back(u);
+  }
 
   if (!opts.trace_dir.empty()) {
     std::filesystem::create_directories(opts.trace_dir);
   }
 
-  // Per-cell countdown for the progress line; fires when a cell's last
-  // unit retires, from whichever worker ran it. The done-count increments
-  // under the same lock as the print so the reported sequence is
-  // monotone even when two cells finish concurrently.
-  std::vector<std::atomic<std::uint64_t>> remaining(cells.size());
-  std::uint64_t cells_done = 0;  // guarded by io_mu once workers start
-  std::mutex io_mu;
-  for (std::size_t c = 0; c < cells.size(); ++c) {
-    remaining[c].store(cells[c].cfg.trials);
-    if (cells[c].cfg.trials == 0) ++cells_done;
+  CheckpointState ckpt;
+  ckpt.fingerprint = sweep_fingerprint(cells);
+  ckpt.shard = opts.shard;
+  ckpt.total_units = total;
+
+  std::vector<TrialOutcome> outcome_of(slice.size());
+  std::vector<char> have(slice.size(), 0);
+  std::uint64_t resumed = 0;
+
+  if (opts.resume) {
+    CheckpointLoad load = load_checkpoint(opts.checkpoint_path);
+    if (!load.ok) {
+      sweep_fail("resume from " + opts.checkpoint_path + ": " + load.error);
+    }
+    if (load.state.fingerprint != ckpt.fingerprint) {
+      sweep_fail("resume: checkpoint " + opts.checkpoint_path +
+                 " was written for a different grid (fingerprint mismatch)");
+    }
+    if (!(load.state.shard == opts.shard)) {
+      sweep_fail("resume: checkpoint covers shard " +
+                 std::to_string(load.state.shard.index) + "/" +
+                 std::to_string(load.state.shard.count) +
+                 ", this run is shard " + std::to_string(opts.shard.index) +
+                 "/" + std::to_string(opts.shard.count));
+    }
+    if (load.state.total_units != total) {
+      sweep_fail("resume: checkpoint covers " +
+                 std::to_string(load.state.total_units) +
+                 " units, this grid has " + std::to_string(total));
+    }
+    if (load.torn) {
+      std::fprintf(stderr,
+                   "sweep: warning: checkpoint %s has a torn tail; "
+                   "discarded %llu record(s), recomputing them\n",
+                   opts.checkpoint_path.c_str(),
+                   static_cast<unsigned long long>(load.discarded_records));
+      std::fflush(stderr);
+    }
+    for (auto& [u, o] : load.state.done) {
+      // decode_checkpoint already guaranteed u < total and slice
+      // membership, so this mapping cannot go out of range.
+      if (opts.collect_commitments && o.trace_commitment.empty()) {
+        // The checkpoint predates --trace: rebuild the commitment from
+        // the unit's trace file (it must exist and parse, or the
+        // "bit-identical to uninterrupted" promise is unkeepable).
+        o.trace_commitment = commitment_from_trace_file(
+            trace_path_for(opts, cells[cell_of[u]].name, trial_of[u]));
+      }
+      const std::uint64_t j = (u - opts.shard.index) / opts.shard.count;
+      outcome_of[j] = o;
+      have[j] = 1;
+      ++resumed;
+    }
+    ckpt.done = std::move(load.state.done);
+    if (opts.progress) {
+      std::fprintf(stderr, "sweep: resumed %llu/%zu units from %s\n",
+                   static_cast<unsigned long long>(resumed), slice.size(),
+                   opts.checkpoint_path.c_str());
+      std::fflush(stderr);
+    }
   }
-  const auto finish_unit = [&](std::uint32_t c) {
-    if (remaining[c].fetch_sub(1) != 1) return;
+
+  std::vector<std::uint64_t> pending;
+  for (std::uint64_t j = 0; j < slice.size(); ++j) {
+    if (!have[j]) pending.push_back(j);
+  }
+
+  // done-count, checkpoint map and the progress print all mutate under
+  // one lock, so the reported sequence is monotone and the checkpoint
+  // file is always a consistent prefix of completed units.
+  std::mutex io_mu;
+  std::uint64_t done_count = resumed;
+  std::uint64_t since_ckpt = 0;
+  const auto progress_line = [&] {  // io_mu held
     if (!opts.progress) return;
-    std::lock_guard<std::mutex> lock(io_mu);
-    std::fprintf(stderr, "sweep: %llu/%zu cells done\n",
-                 static_cast<unsigned long long>(++cells_done), cells.size());
+    if (opts.shard.active()) {
+      std::fprintf(stderr, "sweep[shard %llu/%llu]: %llu/%zu units done\n",
+                   static_cast<unsigned long long>(opts.shard.index),
+                   static_cast<unsigned long long>(opts.shard.count),
+                   static_cast<unsigned long long>(done_count), slice.size());
+    } else {
+      std::fprintf(stderr, "sweep: %llu/%zu units done\n",
+                   static_cast<unsigned long long>(done_count), slice.size());
+    }
     std::fflush(stderr);
   };
-  const auto run_one = [&](std::uint64_t u) {
+  const auto run_one = [&](std::uint64_t j) {
+    const std::uint64_t u = slice[j];
     const std::uint32_t c = cell_of[u];
-    outcomes[c][trial_of[u]] = run_unit(cells[c], trial_of[u], opts);
-    finish_unit(c);
+    const std::uint64_t t = trial_of[u];
+    TrialOutcome out = run_unit(cells[c], t, opts);
+    if (opts.collect_commitments) {
+      out.trace_commitment =
+          commitment_from_trace_file(trace_path_for(opts, cells[c].name, t));
+    }
+    outcome_of[j] = out;
+    have[j] = 1;
+    std::lock_guard<std::mutex> lock(io_mu);
+    if (!opts.checkpoint_path.empty()) {
+      ckpt.done[u] = std::move(out);
+      if (++since_ckpt >= opts.checkpoint_every) {
+        since_ckpt = 0;
+        std::string werr;
+        if (!write_checkpoint(opts.checkpoint_path, ckpt, &werr)) {
+          sweep_fail("checkpoint: " + werr);
+        }
+      }
+    }
+    ++done_count;
+    progress_line();
   };
 
-  const std::uint64_t jobs = effective_jobs(opts.jobs, units);
+  const std::uint64_t jobs = effective_jobs(opts.jobs, pending.size());
   if (jobs <= 1) {
-    for (std::uint64_t u = 0; u < units; ++u) run_one(u);
+    for (std::uint64_t p = 0; p < pending.size(); ++p) run_one(pending[p]);
   } else {
     std::atomic<std::uint64_t> next{0};
     std::mutex error_mu;
@@ -180,9 +350,9 @@ std::vector<TrialStats> run_sweep(const std::vector<SweepCell>& cells,
     for (std::uint64_t w = 0; w < jobs; ++w) {
       pool.emplace_back([&] {
         try {
-          for (std::uint64_t u = next.fetch_add(1); u < units;
-               u = next.fetch_add(1)) {
-            run_one(u);
+          for (std::uint64_t p = next.fetch_add(1); p < pending.size();
+               p = next.fetch_add(1)) {
+            run_one(pending[p]);
           }
         } catch (...) {
           {
@@ -191,7 +361,7 @@ std::vector<TrialStats> run_sweep(const std::vector<SweepCell>& cells,
           }
           // Exhaust the unit counter so the other workers wind down
           // instead of grinding through the remaining trials.
-          next.store(units);
+          next.store(pending.size());
         }
       });
     }
@@ -199,12 +369,43 @@ std::vector<TrialStats> run_sweep(const std::vector<SweepCell>& cells,
     if (first_error) std::rethrow_exception(first_error);
   }
 
-  std::vector<TrialStats> stats;
-  stats.reserve(cells.size());
-  for (const auto& cell_outcomes : outcomes) {
-    stats.push_back(merge_outcomes(cell_outcomes));
+  // Final write so the published checkpoint always covers the whole
+  // slice (and carries any commitments recomputed during resume).
+  if (!opts.checkpoint_path.empty()) {
+    std::string werr;
+    if (!write_checkpoint(opts.checkpoint_path, ckpt, &werr)) {
+      sweep_fail("checkpoint: " + werr);
+    }
   }
-  return stats;
+
+  SweepResult res;
+  res.total_units = total;
+  res.resumed_units = resumed;
+  res.units.reserve(slice.size());
+  std::vector<std::vector<TrialOutcome>> per_cell(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    per_cell[c].reserve(cells[c].cfg.trials);
+  }
+  for (std::uint64_t j = 0; j < slice.size(); ++j) {
+    const std::uint64_t u = slice[j];
+    SweepUnitResult unit;
+    unit.unit = u;
+    unit.cell = cell_of[u];
+    unit.trial = trial_of[u];
+    unit.outcome = outcome_of[j];
+    res.units.push_back(std::move(unit));
+    per_cell[cell_of[u]].push_back(outcome_of[j]);
+  }
+  res.stats.reserve(cells.size());
+  for (const auto& cell_outcomes : per_cell) {
+    res.stats.push_back(merge_outcomes(cell_outcomes));
+  }
+  return res;
+}
+
+std::vector<TrialStats> run_sweep(const std::vector<SweepCell>& cells,
+                                  const SweepOptions& opts) {
+  return run_sweep_ex(cells, opts).stats;
 }
 
 TrialStats run_trials(const EngineBuilder& builder, const RunnerConfig& cfg) {

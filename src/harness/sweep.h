@@ -5,11 +5,20 @@
 // cell.cfg.base_seed + t and outcomes are merged per cell in trial order,
 // so every cell's TrialStats is bit-identical to running that cell alone
 // with run_trials at jobs = 1 — for every jobs value and any interleaving.
+//
+// The same contract extends across processes: `shard` restricts a run to
+// the units u with u % count == index, so k shard runs (on k machines)
+// merged back together are bit-identical to one serial run; and
+// `checkpoint_path`/`resume` persist completed units so a killed sweep
+// continues where it stopped, with TrialStats and trace commitments
+// bit-identical to an uninterrupted run (harness/checkpoint.h holds the
+// on-disk formats).
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "harness/checkpoint.h"
 #include "harness/runner.h"
 
 namespace ssbft {
@@ -27,18 +36,78 @@ struct SweepOptions {
   // hardware thread; clamped to 4x the hardware thread count and to the
   // total unit count.
   std::uint64_t jobs = 1;
-  // Opt-in stderr progress line ("sweep: c/N cells done") for long sweeps.
+  // Opt-in stderr progress line ("sweep: u/N units done" — under an
+  // active shard, the slice's units) for long sweeps.
   bool progress = false;
   // When non-empty, every (cell, trial) unit writes a JSONL execution
   // trace (sim/trace.h) to "<trace_dir>/<cell>.t<trial>.jsonl" (cell names
   // sanitized for the filesystem). The directory is created. Tracing never
   // affects results: the same seeds, the same beats, the same TrialStats.
   std::string trace_dir;
+  // Run only this slice of the global unit sequence (u % count == index).
+  // Seeding stays per-cell (base_seed + trial), so any sharding merges
+  // bit-identical to the serial run.
+  ShardSpec shard;
+  // Compute each unit's SHA-256 trace commitment (requires trace_dir) and
+  // return it in SweepUnitResult — the replay-exactness oracle shard
+  // reports and checkpoints carry.
+  bool collect_commitments = false;
+  // When non-empty, atomically rewrite this checkpoint file after every
+  // `checkpoint_every` completed units (and once at the end), so a killed
+  // sweep can continue with --resume.
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_every = 16;
+  // Replay `checkpoint_path` before running: completed units are restored
+  // (not re-run), a torn tail is discarded with a warning, and a
+  // checkpoint from a different grid or shard is a contract_error.
+  bool resume = false;
 };
 
+// One completed unit, in global unit order within the shard's slice.
+struct SweepUnitResult {
+  std::uint64_t unit = 0;  // global unit index
+  std::uint32_t cell = 0;  // index into the cells vector
+  std::uint64_t trial = 0;
+  TrialOutcome outcome;
+};
+
+struct SweepResult {
+  // One TrialStats per cell, in cell order, folded from this run's units
+  // in trial order. With an inactive shard this covers every trial; with
+  // an active shard, only the slice's (useful for smoke checks — the real
+  // cross-shard fold is merge_shard_files).
+  std::vector<TrialStats> stats;
+  std::vector<SweepUnitResult> units;  // the slice, in unit order
+  std::uint64_t total_units = 0;       // whole grid, all shards
+  std::uint64_t resumed_units = 0;     // restored from the checkpoint
+};
+
+// Runs every (cell, trial) unit of the shard's slice and returns stats
+// plus per-unit outcomes. Throws contract_error on unusable options or a
+// checkpoint that cannot be resumed safely.
+SweepResult run_sweep_ex(const std::vector<SweepCell>& cells,
+                         const SweepOptions& opts);
+
 // Runs every (cell, trial) unit and returns one TrialStats per cell, in
-// cell order.
+// cell order (run_sweep_ex's stats).
 std::vector<TrialStats> run_sweep(const std::vector<SweepCell>& cells,
                                   const SweepOptions& opts);
+
+// SHA-256 fingerprint of the grid's identity (cell names, trial counts,
+// seeds, convergence budgets — everything that determines unit results).
+// Checkpoints and shard reports embed it so they can never be replayed
+// against, or merged into, a different grid. Deliberately excludes the
+// shard spec: all k shards of one grid share one fingerprint.
+std::string sweep_fingerprint(const std::vector<SweepCell>& cells);
+
+// The ssbft-shard-v1 preamble describing this grid and slice (cli_seed /
+// cli_trials are left 0 for the caller to stamp).
+ShardHeader shard_header_for(const std::vector<SweepCell>& cells,
+                             const ShardSpec& shard,
+                             const std::string& pattern);
+
+// Folds one cell's outcomes (trial order) into TrialStats — the exact
+// fold run_sweep uses, exported so shard merges cannot drift from it.
+TrialStats merge_outcomes(const std::vector<TrialOutcome>& outcomes);
 
 }  // namespace ssbft

@@ -207,6 +207,107 @@ TEST(Sweep, EmptyAndZeroTrialCells) {
   EXPECT_GT(stats[2].trials, 0u);
 }
 
+// Distributed-sweep property: run every shard separately, ship each
+// through the ssbft-shard-v1 text round trip, merge — and every cell's
+// TrialStats must equal the unsharded serial run bit for bit (doubles
+// compared with EXPECT_EQ, not near).
+TEST(Sweep, ShardAndMergeBitIdenticalToUnsharded) {
+  const auto cells = three_cell_grid(4);
+  SweepOptions serial;
+  serial.jobs = 1;
+  const std::vector<TrialStats> base = run_sweep(cells, serial);
+  ASSERT_EQ(base.size(), cells.size());
+
+  for (const std::uint64_t k : {2ULL, 3ULL}) {
+    std::vector<ShardFile> files;
+    for (std::uint64_t i = 0; i < k; ++i) {
+      SweepOptions so;
+      so.jobs = 2;  // intra-shard parallelism must not matter either
+      so.shard = ShardSpec{i, k};
+      const SweepResult res = run_sweep_ex(cells, so);
+      std::string text =
+          encode_shard_header(shard_header_for(cells, so.shard, "grid"));
+      for (const SweepUnitResult& u : res.units) {
+        text += encode_shard_unit(ShardUnitRow{u.unit, u.cell, u.trial,
+                                               u.outcome});
+      }
+      std::istringstream in(text);
+      ShardParse parsed = parse_shard_file(in);
+      ASSERT_TRUE(parsed.ok) << parsed.error;
+      files.push_back(std::move(parsed.file));
+    }
+    ShardMerge m = merge_shard_files(std::move(files));
+    ASSERT_TRUE(m.ok) << m.error;
+    ASSERT_EQ(m.per_cell.size(), cells.size());
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      SCOPED_TRACE(cells[c].name + " sharded " + std::to_string(k) + " ways");
+      expect_identical(base[c], merge_outcomes(m.per_cell[c]));
+    }
+  }
+}
+
+// Merging the same shard twice, or an incomplete set, must refuse rather
+// than emit silently wrong statistics.
+TEST(Sweep, MergeRefusesOverlapAndIncompleteness) {
+  const auto cells = three_cell_grid(2);
+  const auto shard_file = [&](std::uint64_t i, std::uint64_t k) {
+    SweepOptions so;
+    so.jobs = 1;
+    so.shard = ShardSpec{i, k};
+    const SweepResult res = run_sweep_ex(cells, so);
+    std::string text =
+        encode_shard_header(shard_header_for(cells, so.shard, "grid"));
+    for (const SweepUnitResult& u : res.units) {
+      text +=
+          encode_shard_unit(ShardUnitRow{u.unit, u.cell, u.trial, u.outcome});
+    }
+    std::istringstream in(text);
+    ShardParse parsed = parse_shard_file(in);
+    EXPECT_TRUE(parsed.ok) << parsed.error;
+    return parsed.file;
+  };
+  {
+    std::vector<ShardFile> twice;
+    twice.push_back(shard_file(0, 2));
+    twice.push_back(shard_file(0, 2));
+    const ShardMerge m = merge_shard_files(std::move(twice));
+    EXPECT_FALSE(m.ok);
+    EXPECT_NE(m.error.find("more than once"), std::string::npos) << m.error;
+  }
+  {
+    std::vector<ShardFile> half;
+    half.push_back(shard_file(1, 2));
+    const ShardMerge m = merge_shard_files(std::move(half));
+    EXPECT_FALSE(m.ok);
+    EXPECT_NE(m.error.find("incomplete"), std::string::npos) << m.error;
+    EXPECT_NE(m.error.find("unit 0"), std::string::npos) << m.error;
+  }
+  {
+    // Shards of different grids must never merge.
+    auto other_cells = three_cell_grid(2);
+    other_cells[0].cfg.base_seed += 1;
+    SweepOptions so;
+    so.jobs = 1;
+    so.shard = ShardSpec{1, 2};
+    const SweepResult res = run_sweep_ex(other_cells, so);
+    std::string text = encode_shard_header(
+        shard_header_for(other_cells, so.shard, "grid"));
+    for (const SweepUnitResult& u : res.units) {
+      text +=
+          encode_shard_unit(ShardUnitRow{u.unit, u.cell, u.trial, u.outcome});
+    }
+    std::istringstream in(text);
+    ShardParse parsed = parse_shard_file(in);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    std::vector<ShardFile> mixed;
+    mixed.push_back(shard_file(0, 2));
+    mixed.push_back(std::move(parsed.file));
+    const ShardMerge m = merge_shard_files(std::move(mixed));
+    EXPECT_FALSE(m.ok);
+    EXPECT_NE(m.error.find("fingerprint"), std::string::npos) << m.error;
+  }
+}
+
 // The tentpole scheduling property: units from different cells are in
 // flight simultaneously — there is no per-cell (per-table-row) barrier.
 // Four single-trial cells at jobs = 4: every builder blocks until all
