@@ -10,7 +10,9 @@
 #include "coin/coin_interface.h"
 #include "coin/fm_coin.h"
 #include "coin/oracle_coin.h"
+#include "harness/chaos.h"
 #include "harness/checker.h"
+#include "harness/live_check.h"
 #include "sim/delivery.h"
 #include "support/check.h"
 
@@ -1154,6 +1156,189 @@ int merge_shard_reports(const std::vector<std::string>& paths,
     }
   }
   return commit_report_out(file, "ssbft_bench") ? 0 : 2;
+}
+
+// ---------------------------------------------------------------------------
+// Chaos campaigns (`ssbft_bench soak`).
+
+namespace {
+
+// The sweep cell for one chaos unit: the matched scenario's world with the
+// sampled FaultPlan and faulty placement swapped in, one trial, seeded by
+// the unit's engine seed. The cell name encodes the unit's full identity
+// (campaign seed, unit index, scenario), so sweep fingerprints — and
+// therefore checkpoints and shard slices — can never cross campaigns.
+SweepCell chaos_cell(const ScenarioSpec& spec, const ChaosUnit& unit) {
+  World w = spec.world;
+  w.faults = unit.plan;
+  w.faulty_override = unit.faulty;
+  RunnerConfig rc = scenario_runner_config(spec);
+  rc.trials = 1;
+  rc.base_seed = unit.engine_seed;
+  return SweepCell{"chaos/s" + std::to_string(unit.campaign_seed) + "/u" +
+                       std::to_string(unit.index) + "/" + unit.scenario,
+                   build_world(spec.family, w), rc};
+}
+
+// Re-runs one unit under the streaming checker — the --minimize probe.
+// Builds the engine exactly as the sweep's live-checked run does (same
+// seed, same full beat budget, same confirmation window), so the verdict
+// is bit-identical to the campaign's.
+CheckResult chaos_probe(const ScenarioSpec& spec, const ChaosUnit& unit,
+                        const CheckOptions& copts) {
+  World w = spec.world;
+  w.faults = unit.plan;
+  w.faulty_override = unit.faulty;
+  const RunnerConfig rc = scenario_runner_config(spec);
+  EngineBundle bundle = build_world(spec.family, w)(unit.engine_seed);
+  CheckOptions probe_opts = copts;
+  probe_opts.fault_horizon = w.faults.network_quiescence();
+  StreamingChecker checker(probe_opts);
+  TraceMeta meta;
+  meta.scenario = unit.scenario;
+  meta.seed = unit.engine_seed;
+  meta.n = spec.world.n;
+  meta.f = spec.world.f;
+  meta.faulty = unit.faulty;
+  meta.max_beats = rc.convergence.max_beats;
+  meta.confirm_window = rc.convergence.confirm_window;
+  checker.begin_trace(meta);
+  bundle.engine->set_trace(&checker);
+  bundle.engine->run_beats(rc.convergence.max_beats);
+  return checker.finish();
+}
+
+// Greedy delta-debugging to a fixed point: keep the first strictly-weaker
+// reduction that still violates; stop when none does. Every candidate is
+// weaker than its parent, so the loop terminates.
+ChaosUnit minimize_chaos_unit(const ScenarioSpec& spec, ChaosUnit unit,
+                              const CheckOptions& copts,
+                              std::uint64_t* steps) {
+  *steps = 0;
+  for (;;) {
+    bool reduced = false;
+    std::vector<FaultPlan> candidates = chaos_reductions(unit.plan);
+    for (FaultPlan& cand : candidates) {
+      ChaosUnit trial = unit;
+      trial.plan = std::move(cand);
+      if (!chaos_probe(spec, trial, copts).ok) {
+        unit = std::move(trial);
+        ++*steps;
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) return unit;
+  }
+}
+
+void write_indented(std::ostream& os, const std::string& text) {
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    os << "  " << text.substr(start, end - start) << "\n";
+    start = end + 1;
+  }
+}
+
+}  // namespace
+
+int run_soak_campaign(const std::string& pattern,
+                      const std::vector<const ScenarioSpec*>& matched,
+                      const BenchOptions& o, const SoakOptions& soak) {
+  SSBFT_REQUIRE_MSG(!matched.empty(), "soak needs a matched scenario set");
+  SSBFT_REQUIRE_MSG(soak.units >= 1, "soak needs --units >= 1");
+
+  const FaultPlanGenerator gen(soak.campaign_seed);
+  std::vector<ChaosUnit> units;
+  std::vector<SweepCell> cells;
+  units.reserve(soak.units);
+  cells.reserve(soak.units);
+  for (std::uint64_t u = 0; u < soak.units; ++u) {
+    const ScenarioSpec& spec = *matched[u % matched.size()];
+    ChaosUnit unit = gen.make_unit(u, spec.name, spec.world.n,
+                                   spec.world.actual, spec.max_beats);
+    cells.push_back(chaos_cell(spec, unit));
+    units.push_back(std::move(unit));
+  }
+
+  SweepOptions so = scenario_sweep_options(o);
+  so.collect_commitments = !o.trace.empty();
+  so.live_check = true;
+  so.live_check_opts.bound = soak.bound;
+  const SweepResult res = run_sweep_ex(cells, so);
+
+  AtomicOutFile file;
+  std::ostream* os = open_report_out(o, file, "ssbft_bench");
+  if (os == nullptr) return 2;
+
+  *os << "soak: campaign seed " << soak.campaign_seed << ", " << soak.units
+      << (soak.units == 1 ? " unit" : " units") << " over " << matched.size()
+      << (matched.size() == 1 ? " scenario" : " scenarios") << " matching '"
+      << pattern << "'";
+  if (o.shard.active()) {
+    *os << " (shard " << o.shard.index << "/" << o.shard.count << ": "
+        << res.units.size() << " units in slice)";
+  }
+  *os << "\n";
+
+  // res.units is in global unit order for every --jobs value (and under
+  // --shard/--resume covers exactly the slice), so this report — and the
+  // exit code — is deterministic however the campaign was scheduled.
+  std::uint64_t violating = 0;
+  for (const SweepUnitResult& u : res.units) {
+    if (u.outcome.check_violations == 0) continue;
+    ++violating;
+    const ChaosUnit& unit = units[u.cell];
+    *os << "violation: campaign-seed=" << soak.campaign_seed
+        << " unit=" << unit.index << " scenario=" << unit.scenario
+        << " engine-seed=" << unit.engine_seed
+        << " violations=" << u.outcome.check_violations
+        << " plan=" << chaos_unit_digest(unit) << "\n";
+  }
+
+  if (soak.minimize && violating > 0) {
+    CheckOptions copts;
+    copts.bound = soak.bound;
+    for (const SweepUnitResult& u : res.units) {
+      if (u.outcome.check_violations == 0) continue;
+      const ScenarioSpec& spec = *matched[u.cell % matched.size()];
+      std::uint64_t steps = 0;
+      const ChaosUnit min =
+          minimize_chaos_unit(spec, units[u.cell], copts, &steps);
+      const CheckResult verdict = chaos_probe(spec, min, copts);
+      *os << "\nminimal repro for unit " << min.index << " (" << steps
+          << (steps == 1 ? " reduction" : " reductions") << " applied, plan "
+          << chaos_unit_digest(min) << "):\n"
+          << "  scenario " << spec.name << " (family "
+          << family_name(spec.family) << ", n=" << spec.world.n
+          << " f=" << spec.world.f << " actual=" << spec.world.actual
+          << "), trials 1, base_seed " << min.engine_seed << ", max_beats "
+          << spec.max_beats << "\n";
+      write_indented(*os, encode_chaos_unit(min));
+      std::size_t shown = 0;
+      for (const std::string& msg : verdict.violations) {
+        if (shown == 4) break;
+        ++shown;
+        *os << "  ! " << msg << "\n";
+      }
+      if (verdict.violation_count > shown) {
+        *os << "  ! ... " << (verdict.violation_count - shown)
+            << " more violation(s)\n";
+      }
+    }
+  }
+
+  if (violating == 0) {
+    *os << "soak: clean — no invariant violations across "
+        << res.units.size() << " unit(s)\n";
+  } else {
+    *os << "soak: " << violating << " violating unit(s); the same command "
+        << "reproduces them bit-identically for any --jobs/--shard\n";
+  }
+  if (!commit_report_out(file, "ssbft_bench")) return 2;
+  return violating == 0 ? 0 : 1;
 }
 
 }  // namespace ssbft::bench

@@ -124,4 +124,24 @@ void run_shard_cells(const std::string& pattern,
 int merge_shard_reports(const std::vector<std::string>& paths,
                         const BenchOptions& o, bool commitment_only);
 
+// `ssbft_bench soak` knobs (harness/chaos.h drives the sampling).
+struct SoakOptions {
+  std::uint64_t campaign_seed = 1;
+  std::uint64_t units = 64;  // chaos units sampled across the matched cells
+  std::uint64_t bound = 0;   // re-convergence bound to enforce (0 = off)
+  bool minimize = false;     // delta-debug each violating plan
+};
+
+// Driver helper: run a chaos campaign over the matched registry cells —
+// unit i perturbs matched[i % matched.size()] with the FaultPlan sampled
+// from (campaign_seed, i) — through the sweep scheduler with streaming
+// invariant checking, then print one structured repro line per violating
+// unit (deterministic across --jobs/--shard/--resume). With
+// SoakOptions::minimize, each violating plan is delta-debugged to a
+// minimal registrable spec. Returns 0 (green), 1 (violations) or 2
+// (environment error).
+int run_soak_campaign(const std::string& pattern,
+                      const std::vector<const ScenarioSpec*>& matched,
+                      const BenchOptions& o, const SoakOptions& soak);
+
 }  // namespace ssbft::bench

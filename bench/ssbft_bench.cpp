@@ -4,9 +4,13 @@
 // glob, scheduling all (cell, trial) units through one global sweep
 // queue — optionally one shard of it (--shard i/k) with crash-safe
 // checkpoints (--checkpoint/--resume); `merge` folds shard reports back
-// into the unsharded table, bit for bit. The historical bench_* binaries
-// are thin wrappers over the same registry (`bench_table1` ==
-// `ssbft_bench run table1`).
+// into the unsharded table, bit for bit; `soak` drives seed-driven chaos
+// campaigns (harness/chaos.h) over the matched scenarios with streaming
+// invariant checking and optional repro minimization. The historical
+// bench_* binaries are thin wrappers over the same registry
+// (`bench_table1` == `ssbft_bench run table1`).
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -28,6 +32,8 @@ int usage(std::ostream& os, int code) {
         "cell matching a glob\n"
         "  merge <report...>          fold ssbft-shard-v1 reports (from "
         "`run --shard`) into one table\n"
+        "  soak <glob> [options]      chaos campaign: fuzz the matched "
+        "scenarios' fault space with streaming invariant checking\n"
         "run options: [--trials N] [--jobs J] [--seed S]\n"
         "             [--format ascii|csv|jsonl] [--out FILE] [--trace DIR]\n"
         "             [--progress] [--shard I/K]\n"
@@ -57,6 +63,21 @@ int usage(std::ostream& os, int code) {
         "  --commitment-only  print just the aggregate SHA-256 trace\n"
         "               commitment (shards must have run with --trace);\n"
         "               matches `ssbft_check --commitment-only`\n"
+        "soak options: [--campaign-seed S] [--units N] [--bound B] "
+        "[--minimize]\n"
+        "              plus --jobs/--progress/--out/--trace and the "
+        "--shard/--checkpoint/--resume crash-safety knobs\n"
+        "  --campaign-seed S  campaign identity (default 1): unit i's fault\n"
+        "               plan is a pure function of (S, i) — any reported\n"
+        "               violation line re-runs bit-identically\n"
+        "  --units N    chaos units to sample across the matched cells "
+        "(default 64)\n"
+        "  --bound B    also enforce the re-convergence bound: every unit\n"
+        "               must (re)converge within B beats of its last "
+        "corruption\n"
+        "  --minimize   delta-debug each violating plan to a minimal\n"
+        "               registrable repro (axes dropped, schedules and\n"
+        "               victim sets shrunk, horizons halved)\n"
         "examples:\n"
         "  ssbft_bench list 'net/*'\n"
         "  ssbft_bench run table1 --trials 2 --jobs 2\n"
@@ -67,7 +88,11 @@ int usage(std::ostream& os, int code) {
         "  ssbft_bench run 'gallery/*' --shard 1/2 --out b.jsonl   # box B\n"
         "  ssbft_bench merge a.jsonl b.jsonl\n"
         "  ssbft_bench run 'net/*' --checkpoint net.ckpt --progress\n"
-        "  ssbft_bench run 'net/*' --checkpoint net.ckpt --resume\n";
+        "  ssbft_bench run 'net/*' --checkpoint net.ckpt --resume\n"
+        "  ssbft_bench soak 'gallery/*' --campaign-seed 7 --units 200 "
+        "--jobs 4\n"
+        "  ssbft_bench soak 'gallery/*' --campaign-seed 7 --units 200 "
+        "--minimize\n";
   return code;
 }
 
@@ -112,6 +137,12 @@ int list_command(const std::string& pattern) {
   if (!any) {
     std::cerr << "ssbft_bench: nothing matches '" << pattern << "'\n";
     return 2;
+  }
+  if (!matched.empty()) {
+    std::cout << "\nchaos campaigns: `ssbft_bench soak '<glob>' "
+                 "--campaign-seed S --units N` fuzzes the matched "
+                 "scenarios' fault space under streaming invariant "
+                 "checking (--minimize shrinks a failing plan).\n";
   }
   return 0;
 }
@@ -202,6 +233,84 @@ int merge_command(int argc, char** argv) {
   return merge_shard_reports(paths, o, commitment_only);
 }
 
+int soak_command(int argc, char** argv) {
+  if (argc < 3 || std::string(argv[2]).compare(0, 2, "--") == 0) {
+    std::cerr << "ssbft_bench: soak needs a scenario glob first "
+                 "(try `ssbft_bench list`)\n";
+    return 2;
+  }
+  const std::string pattern = argv[2];
+  SoakOptions soak;
+  // Pull out the soak-specific flags, then hand everything else (--jobs,
+  // --out, --trace, --shard, --checkpoint, ...) to the shared parser.
+  std::vector<char*> rest;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto take_u64 = [&]() -> std::uint64_t {
+      if (i + 1 >= argc) {
+        std::cerr << "ssbft_bench soak: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      const std::string v = argv[++i];
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(v.c_str(), &end, 10);
+      if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos ||
+          errno != 0 || end != v.c_str() + v.size()) {
+        std::cerr << "ssbft_bench soak: " << arg
+                  << " needs a non-negative integer, got '" << v << "'\n";
+        std::exit(2);
+      }
+      return parsed;
+    };
+    if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (arg == "--campaign-seed") {
+      soak.campaign_seed = take_u64();
+    } else if (arg == "--units") {
+      soak.units = take_u64();
+    } else if (arg == "--bound") {
+      soak.bound = take_u64();
+    } else if (arg == "--minimize") {
+      soak.minimize = true;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  const BenchOptions o =
+      parse_cli("ssbft_bench soak", static_cast<int>(rest.size()),
+                rest.data(), /*first=*/0, /*wrapper_note=*/false);
+  if (o.trials != 0 || o.seed != 0) {
+    std::cerr << "ssbft_bench soak: --trials/--seed don't apply here — every "
+                 "unit is one trial whose seed derives from "
+                 "(--campaign-seed, unit index)\n";
+    return 2;
+  }
+  if (o.format_set) {
+    std::cerr << "ssbft_bench soak: the campaign report is plain text; "
+                 "--format applies to `run` and `merge`\n";
+    return 2;
+  }
+  if (soak.units == 0) {
+    std::cerr << "ssbft_bench soak: --units must be >= 1\n";
+    return 2;
+  }
+  // Resolve the glob before run_soak_campaign touches --out.
+  const std::vector<const ScenarioSpec*> matched = match_scenarios(pattern);
+  if (matched.empty()) {
+    if (find_experiment(pattern) != nullptr) {
+      std::cerr << "ssbft_bench: soak fuzzes scenario cells; '" << pattern
+                << "' is an experiment table (try a glob from "
+                   "`ssbft_bench list`)\n";
+    } else {
+      std::cerr << "ssbft_bench: no scenario matches '" << pattern
+                << "' (try `ssbft_bench list`)\n";
+    }
+    return 2;
+  }
+  return run_soak_campaign(pattern, matched, o, soak);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -227,6 +336,9 @@ int main(int argc, char** argv) {
     }
     if (command == "merge") {
       return merge_command(argc, argv);
+    }
+    if (command == "soak") {
+      return soak_command(argc, argv);
     }
   } catch (const contract_error& e) {
     // Unresumable checkpoints, unwritable checkpoints, unreadable trace

@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "harness/jsonl.h"
+#include "harness/live_check.h"
 #include "support/sha256.h"
 
 namespace ssbft {
@@ -338,176 +339,13 @@ MergeResult merge_traces(std::vector<ParsedTrace> parts) {
 }
 
 CheckResult check_trace(const ParsedTrace& trace, const CheckOptions& opts) {
-  CheckResult res;
-  const TraceHeader& h = trace.header;
-  const std::uint64_t window =
-      opts.confirm_window != 0
-          ? opts.confirm_window
-          : (h.confirm_window != 0 ? h.confirm_window : 12);
-
-  auto violation = [&](std::string msg) {
-    res.ok = false;
-    if (res.violations.size() < 32) res.violations.push_back(std::move(msg));
-  };
-
-  // Mirror of measure_convergence's streak detector (harness/convergence.h)
-  // plus a closure mode it never needs (it stops at confirmation).
-  enum class Mode { kSearching, kConverged };
-  Mode mode = Mode::kSearching;
-  std::optional<ClockValue> prev_common;
-  std::uint64_t streak = 0;
-  Beat streak_start = 0;
-  ClockValue k = 0;
-
-  struct CoinGroup {
-    Beat beat;
-    bool equal;
-  };
-  std::vector<CoinGroup> coin_groups;
-
-  // Per-beat scratch: one (stream, count, first bit, still-all-equal)
-  // accumulator per coin stream seen this beat.
-  struct CoinAcc {
-    std::uint32_t stream;
-    std::uint32_t count;
-    bool first_bit;
-    bool equal;
-  };
-  std::vector<CoinAcc> coin_acc;
-
-  std::size_t i = 0;
-  while (i < trace.records.size()) {
-    const Beat beat = trace.records[i].beat;
-    ++res.beats;
-    bool corrupt_here = false;
-    bool have_clocks = false;
-    bool clocks_common = true;
-    ClockValue common_value = 0;
-    coin_acc.clear();
-
-    for (; i < trace.records.size() && trace.records[i].beat == beat; ++i) {
-      const TraceRecord& r = trace.records[i];
-      switch (r.event) {
-        case TraceEvent::kCorrupt:
-          corrupt_here = true;
-          res.had_corruption = true;
-          res.last_corruption = beat;
-          break;
-        case TraceEvent::kClock: {
-          if (k == 0) k = r.b;
-          if (r.a >= k) {
-            violation("beat " + std::to_string(beat) + " node " +
-                      std::to_string(r.node) + ": clock value " +
-                      std::to_string(r.a) + " >= modulus " + std::to_string(k));
-          }
-          if (!have_clocks) {
-            have_clocks = true;
-            common_value = r.a;
-          } else if (r.a != common_value) {
-            clocks_common = false;
-          }
-          break;
-        }
-        case TraceEvent::kCoin: {
-          const bool bit = r.a != 0;
-          bool found = false;
-          for (CoinAcc& acc : coin_acc) {
-            if (acc.stream != r.stream) continue;
-            found = true;
-            ++acc.count;
-            if (acc.first_bit != bit) acc.equal = false;
-            break;
-          }
-          if (!found) coin_acc.push_back({r.stream, 1, bit, true});
-          break;
-        }
-        default:
-          break;
-      }
-    }
-
-    for (const CoinAcc& acc : coin_acc) {
-      if (acc.count >= 2) coin_groups.push_back({beat, acc.equal});
-    }
-
-    const std::optional<ClockValue> common =
-        (have_clocks && clocks_common) ? std::optional<ClockValue>(common_value)
-                                       : std::nullopt;
-
-    if (have_clocks) {
-      if (mode == Mode::kConverged) {
-        const bool legal_step = common.has_value() && prev_common.has_value() &&
-                                *common == (*prev_common + 1) % k;
-        if (!legal_step) {
-          if (!corrupt_here) {
-            violation("beat " + std::to_string(beat) +
-                      ": closure broke without a recorded corruption");
-          }
-          mode = Mode::kSearching;
-          streak = 0;
-        }
-      }
-      if (mode == Mode::kSearching) {
-        const bool continues =
-            common.has_value() &&
-            (!prev_common.has_value() ||
-             (streak > 0 && *common == (*prev_common + 1) % k));
-        if (common.has_value() && (streak == 0 || continues)) {
-          if (streak == 0) streak_start = beat;
-          ++streak;
-        } else if (common.has_value()) {
-          streak_start = beat;
-          streak = 1;
-        } else {
-          streak = 0;
-        }
-        if (streak >= window) {
-          mode = Mode::kConverged;
-          res.synced_at = streak_start;
-        }
-      }
-      prev_common = common;
-    }
-  }
-
-  res.converged = mode == Mode::kConverged;
-  res.censored = !res.converged;
-
-  // Coin agreement over confirmed-converged beats (gates derive from the
-  // common clocks there, so groups are aligned across nodes).
-  std::uint64_t groups = 0, equal = 0;
-  // A censored trace reports its rate over every group but enforces nothing.
-  for (const CoinGroup& g : coin_groups) {
-    if (res.converged && g.beat <= res.synced_at) continue;
-    ++groups;
-    if (g.equal) ++equal;
-  }
-  res.coin_groups = groups;
-  res.coin_agreement_rate =
-      groups == 0 ? 1.0 : static_cast<double>(equal) / static_cast<double>(groups);
-  if (res.converged && groups > 0 &&
-      res.coin_agreement_rate < opts.coin_agreement) {
-    violation("coin agreement rate " + std::to_string(res.coin_agreement_rate) +
-              " below required " + std::to_string(opts.coin_agreement));
-  }
-
-  if (opts.require_convergence && res.censored) {
-    violation("never converged within " + std::to_string(res.beats) +
-              " recorded beats");
-  }
-  if (opts.bound != 0) {
-    if (!res.converged) {
-      violation("re-convergence bound set but the trace never (re)converged");
-    } else {
-      const Beat origin = res.had_corruption ? res.last_corruption : 0;
-      if (res.synced_at >= origin && res.synced_at - origin > opts.bound) {
-        violation("re-converged " + std::to_string(res.synced_at - origin) +
-                  " beats after the last corruption, bound is " +
-                  std::to_string(opts.bound));
-      }
-    }
-  }
-  return res;
+  // The invariants themselves live in InvariantCore (harness/live_check.h),
+  // shared record-for-record with the StreamingChecker sink so offline and
+  // live verdicts can never drift apart.
+  InvariantCore core;
+  core.reset(opts, trace.header.confirm_window);
+  for (const TraceRecord& r : trace.records) core.feed(r);
+  return core.finish();
 }
 
 std::string trace_commitment(const ParsedTrace& trace) {

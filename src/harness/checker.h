@@ -22,8 +22,11 @@
 //       1. convergence: the same streak detector as measure_convergence
 //          (harness/convergence.h) run over the recorded clocks;
 //       2. closure: after a confirmed convergence, every beat's common
-//          clock must be previous + 1 (mod k); a break is legal only on a
-//          beat with a recorded transient corruption;
+//          clock must be previous + 1 (mod k); a recorded transient
+//          corruption withdraws the converged claim at its own beat (the
+//          randomized internal state may surface as a clock break only
+//          beats later), so any break without a preceding corruption is a
+//          violation;
 //       3. re-convergence bound: with CheckOptions::bound set, the final
 //          convergence must start within `bound` beats of the last
 //          corruption (of genesis when none);
@@ -99,6 +102,16 @@ struct CheckOptions {
   // Override the header's confirmation window (0 = use the header's,
   // falling back to 12 when the header carries 0).
   std::uint64_t confirm_window = 0;
+  // Declared network-fault horizon: beats before this are treated like
+  // corruption beats (converged claims withdrawn, no convergence-streak
+  // accrual, no closure enforcement) because the run's declared
+  // lossy/phantom window or delivery adversary was still active — the
+  // synchronous-network assumption the invariants rest on does not hold
+  // there. 0 = clean network. FaultPlan::network_quiescence derives the
+  // value; live-checked sweeps (harness/sweep.h) set it per unit from the
+  // engine's own plan. The re-convergence bound measures from
+  // max(last corruption, this horizon).
+  std::uint64_t fault_horizon = 0;
 };
 
 struct CheckResult {
@@ -111,6 +124,9 @@ struct CheckResult {
   bool had_corruption = false;
   double coin_agreement_rate = 1.0;  // over post-convergence groups
   std::uint64_t coin_groups = 0;
+  // Total violations found; `violations` retains at most the first 32
+  // messages, so the count can exceed the list's size.
+  std::uint64_t violation_count = 0;
   std::vector<std::string> violations;
 };
 

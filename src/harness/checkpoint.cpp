@@ -72,7 +72,10 @@ std::optional<std::string> strip_prefix(const std::string& s,
 constexpr char kCkptMagic[] = "ssbft-ckpt-v1";
 constexpr char kShardSchema[] = "ssbft-shard-v1";
 
-// One checkpoint record's body (everything before " crc=").
+// One checkpoint record's body (everything before " crc="). The trailing
+// v= field (streaming-checker violation count) is emitted only when
+// nonzero, so checkpoints from non-live-checked sweeps stay byte-for-byte
+// in the original five-field ssbft-ckpt-v1 shape.
 std::string record_body(std::uint64_t unit, const TrialOutcome& o) {
   std::string body = "u=" + std::to_string(unit);
   body += o.converged ? " c=1" : " c=0";
@@ -80,6 +83,9 @@ std::string record_body(std::uint64_t unit, const TrialOutcome& o) {
   body += " m=" + double_to_hex(o.msgs_per_beat);
   body += " t=";
   body += o.trace_commitment.empty() ? "-" : o.trace_commitment;
+  if (o.check_violations != 0) {
+    body += " v=" + std::to_string(o.check_violations);
+  }
   return body;
 }
 
@@ -236,7 +242,7 @@ CheckpointLoad decode_checkpoint(const std::string& text) {
     TrialOutcome outcome;
     bool hard_error = false;
     do {
-      if (tok.size() != 5) {
+      if (tok.size() != 5 && tok.size() != 6) {
         hard_error = bad_record("wrong field count");
         break;
       }
@@ -248,6 +254,16 @@ CheckpointLoad decode_checkpoint(const std::string& text) {
       if (!u || !c || !s || !m || !t) {
         hard_error = bad_record("bad field tags");
         break;
+      }
+      if (tok.size() == 6) {
+        // Optional live-check violation count; the writer never emits
+        // v=0, so zero is a wrong file, not a crash artifact.
+        const auto vcount = strip_prefix(tok[5], "v=");
+        if (!vcount || !parse_u64_strict(*vcount, &outcome.check_violations) ||
+            outcome.check_violations == 0) {
+          hard_error = bad_record("bad violation count");
+          break;
+        }
       }
       if (!parse_u64_strict(*u, &unit)) {
         hard_error = bad_record("bad unit index");
@@ -376,23 +392,33 @@ std::string encode_shard_unit(const ShardUnitRow& row) {
   if (!row.outcome.trace_commitment.empty()) {
     out += ",\"commitment\":\"" + row.outcome.trace_commitment + "\"";
   }
+  if (row.outcome.check_violations != 0) {
+    out += ",\"violations\":" + std::to_string(row.outcome.check_violations);
+  }
   out += "}\n";
   return out;
 }
 
 namespace {
 
-// Requires the line's integer keys to be exactly `ints` and its string
-// keys to be exactly `strs` plus any of `opt_strs`; arrays are never
-// legal in shard files.
+// Requires the line's integer keys to be exactly `ints` plus any of
+// `opt_ints`, and its string keys to be exactly `strs` plus any of
+// `opt_strs`; arrays are never legal in shard files.
 bool exact_shard_shape(const jsonl::LineValues& v,
                        std::initializer_list<const char*> ints,
                        std::initializer_list<const char*> strs,
                        std::initializer_list<const char*> opt_strs,
+                       std::initializer_list<const char*> opt_ints,
                        std::string& err) {
   for (const auto& [k, val] : v.ints) {
     bool known = false;
     for (const char* want : ints) {
+      if (k == want) {
+        known = true;
+        break;
+      }
+    }
+    for (const char* want : opt_ints) {
       if (k == want) {
         known = true;
         break;
@@ -476,7 +502,7 @@ ShardParse parse_shard_file(std::istream& in) {
       if (have_header) return fail("duplicate shard header");
       if (!exact_shard_shape(
               v, {"shard", "shards", "total_units", "cells", "seed", "trials"},
-              {"type", "schema", "pattern", "fingerprint"}, {}, err)) {
+              {"type", "schema", "pattern", "fingerprint"}, {}, {}, err)) {
         return fail(err);
       }
       if (*jsonl::find_str(v, "schema") != kShardSchema) {
@@ -512,7 +538,7 @@ ShardParse parse_shard_file(std::istream& in) {
         return fail("cell line after unit lines");
       }
       if (!exact_shard_shape(v, {"index", "trials", "base_seed"},
-                             {"type", "name"}, {}, err)) {
+                             {"type", "name"}, {}, {}, err)) {
         return fail(err);
       }
       if (*jsonl::find_int(v, "index") != res.file.header.cells.size()) {
@@ -551,7 +577,8 @@ ShardParse parse_shard_file(std::istream& in) {
       if (!exact_shard_shape(v,
                              {"unit", "cell", "trial", "converged",
                               "synced_at"},
-                             {"type", "msgs"}, {"commitment"}, err)) {
+                             {"type", "msgs"}, {"commitment"}, {"violations"},
+                             err)) {
         return fail(err);
       }
       ShardUnitRow row;
@@ -588,6 +615,12 @@ ShardParse parse_shard_file(std::istream& in) {
       if (const std::string* c = jsonl::find_str(v, "commitment")) {
         if (!is_hex_lower(*c, 64)) return fail("bad trace commitment");
         row.outcome.trace_commitment = *c;
+      }
+      if (const std::uint64_t* vio = jsonl::find_int(v, "violations")) {
+        // The writer omits the key when zero, so an explicit 0 is a
+        // malformed file, not an empty result.
+        if (*vio == 0) return fail("bad violation count");
+        row.outcome.check_violations = *vio;
       }
       res.file.units.push_back(std::move(row));
       continue;

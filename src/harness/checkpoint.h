@@ -61,6 +61,12 @@ struct TrialOutcome {
   // SHA-256 trace commitment of the unit's execution trace (64 hex
   // chars) when the sweep collected commitments; empty otherwise.
   std::string trace_commitment;
+  // Invariant violations found by the streaming checker when the sweep
+  // ran with live checking (SweepOptions::live_check); 0 otherwise.
+  // Persisted in checkpoints (optional `v=` field) and shard reports
+  // (optional "violations" key) only when nonzero, so files from
+  // non-checked sweeps are byte-identical to the PR 8 formats.
+  std::uint64_t check_violations = 0;
 };
 
 // --shard i/k: run only units u with u % count == index.

@@ -105,7 +105,20 @@ EngineConfig world_config(const World& w, std::uint64_t seed) {
   EngineConfig cfg;
   cfg.n = w.n;
   cfg.f = w.f;
-  cfg.faulty = EngineConfig::last_ids_faulty(w.n, w.actual);
+  if (w.faulty_override.empty()) {
+    cfg.faulty = EngineConfig::last_ids_faulty(w.n, w.actual);
+  } else {
+    SSBFT_REQUIRE_MSG(w.faulty_override.size() == w.actual,
+                      "faulty_override names "
+                          << w.faulty_override.size() << " node(s), world has "
+                          << w.actual << " actually-faulty");
+    for (NodeId id : w.faulty_override) {
+      SSBFT_REQUIRE_MSG(id < w.n, "faulty_override id "
+                                      << id << " out of range for n = "
+                                      << w.n);
+    }
+    cfg.faulty = w.faulty_override;
+  }
   cfg.seed = seed;
   cfg.faults = w.faults;
   cfg.track_channel_bytes = w.track_channel_bytes;

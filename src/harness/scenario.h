@@ -70,6 +70,11 @@ struct World {
   // Network/transient fault axes (drop probability, phantom injection,
   // mid-run corruption schedule), passed through to the engine.
   FaultPlan faults;
+  // Which node ids are actually faulty. Empty = the registry default
+  // (the `actual` highest ids); chaos campaigns (harness/chaos.h)
+  // randomize the placement through this override. Size must equal
+  // `actual` when set.
+  std::vector<NodeId> faulty_override;
 };
 
 // Beacon-free attacks (everything but kAntiCoin, which needs the world's

@@ -16,6 +16,7 @@
 #include <thread>
 
 #include "harness/checker.h"
+#include "harness/live_check.h"
 #include "sim/trace.h"
 #include "support/check.h"
 #include "support/sha256.h"
@@ -92,18 +93,60 @@ std::string commitment_from_trace_file(const std::string& path) {
   return trace_commitment(merged.traces[0]);
 }
 
+// Fan-out sink for live-checked + traced units: every record batch goes
+// to both the StreamingChecker and the JSONL file.
+class TeeTraceSink final : public TraceSink {
+ public:
+  TeeTraceSink(TraceSink* a, TraceSink* b) : a_(a), b_(b) {}
+  void begin_trace(const TraceMeta& meta) override {
+    a_->begin_trace(meta);
+    b_->begin_trace(meta);
+  }
+  void write(const TraceRecord* records, std::size_t count) override {
+    a_->write(records, count);
+    b_->write(records, count);
+  }
+  void end_beat(Beat beat) override {
+    a_->end_beat(beat);
+    b_->end_beat(beat);
+  }
+
+ private:
+  TraceSink* a_;
+  TraceSink* b_;
+};
+
 TrialOutcome run_unit(const SweepCell& cell, std::uint64_t t,
                       const SweepOptions& opts) {
   EngineBundle bundle = cell.builder(cell.cfg.base_seed + t);
   SSBFT_CHECK(bundle.engine != nullptr);
   // Destroyed before the bundle (declared later), which is safe: no beat
-  // runs after measure_convergence returns and the engine's destructor
-  // never touches its trace sink.
+  // runs after the run returns and the engine's destructor never touches
+  // its trace sink.
   std::unique_ptr<JsonlTraceSink> sink;
+  std::unique_ptr<StreamingChecker> checker;
+  std::unique_ptr<TeeTraceSink> tee;
+  TraceSink* attach = nullptr;
   if (!opts.trace_dir.empty()) {
     const std::string path = trace_path_for(opts, cell.name, t);
     sink = std::make_unique<JsonlTraceSink>(path);
     if (!sink->ok()) sweep_fail("cannot open trace file " + path);
+    attach = sink.get();
+  }
+  if (opts.live_check) {
+    // The closure/convergence invariants only hold once the unit's own
+    // declared network faults have quiesced; the checker treats earlier
+    // beats like corruption beats.
+    CheckOptions copts = opts.live_check_opts;
+    copts.fault_horizon = bundle.engine->fault_plan().network_quiescence();
+    checker = std::make_unique<StreamingChecker>(copts);
+    attach = sink ? static_cast<TraceSink*>(
+                        (tee = std::make_unique<TeeTraceSink>(checker.get(),
+                                                              sink.get()))
+                            .get())
+                  : checker.get();
+  }
+  if (attach != nullptr) {
     TraceMeta meta;
     meta.scenario = cell.name;
     meta.trial = t;
@@ -115,14 +158,25 @@ TrialOutcome run_unit(const SweepCell& cell, std::uint64_t t,
     }
     meta.max_beats = cell.cfg.convergence.max_beats;
     meta.confirm_window = cell.cfg.convergence.confirm_window;
-    sink->begin_trace(meta);
-    bundle.engine->set_trace(sink.get());
+    attach->begin_trace(meta);
+    bundle.engine->set_trace(attach);
   }
-  const ConvergenceResult r =
-      measure_convergence(*bundle.engine, cell.cfg.convergence);
   TrialOutcome out;
-  out.converged = r.converged;
-  out.synced_at = r.synced_at;
+  if (opts.live_check) {
+    // Live-checked units run the whole budget: stopping at confirmation
+    // (measure_convergence) would hide post-convergence closure breaks
+    // and skip corruptions scheduled after the sync point.
+    bundle.engine->run_beats(cell.cfg.convergence.max_beats);
+    const CheckResult& verdict = checker->finish();
+    out.converged = verdict.converged;
+    out.synced_at = verdict.synced_at;
+    out.check_violations = verdict.violation_count;
+  } else {
+    const ConvergenceResult r =
+        measure_convergence(*bundle.engine, cell.cfg.convergence);
+    out.converged = r.converged;
+    out.synced_at = r.synced_at;
+  }
   out.msgs_per_beat = bundle.engine->metrics().mean_correct_messages_per_beat();
   return out;
 }

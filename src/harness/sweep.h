@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/checker.h"
 #include "harness/checkpoint.h"
 #include "harness/runner.h"
 
@@ -61,6 +62,15 @@ struct SweepOptions {
   // (not re-run), a torn tail is discarded with a warning, and a
   // checkpoint from a different grid or shard is a contract_error.
   bool resume = false;
+  // Streaming invariant checking (harness/live_check.h): attach a
+  // StreamingChecker to every unit and run the *full* beat budget (not
+  // stopping at confirmed convergence, so post-convergence closure and
+  // late scheduled corruptions stay under scrutiny). converged/synced_at
+  // come from the checker's verdict and TrialOutcome::check_violations
+  // carries its violation count. Composes with trace_dir (the records tee
+  // to both sinks).
+  bool live_check = false;
+  CheckOptions live_check_opts;
 };
 
 // One completed unit, in global unit order within the shard's slice.

@@ -73,6 +73,10 @@ class Engine {
   bool is_faulty(NodeId id) const { return is_faulty_[id]; }
   const std::vector<NodeId>& correct_ids() const { return correct_ids_; }
 
+  // The declared fault schedule this engine runs under (trace checkers
+  // derive the network-quiescence horizon from it).
+  const FaultPlan& fault_plan() const { return cfg_.faults; }
+
   // The protocol instance of a correct node.
   Protocol& node(NodeId id);
   const Protocol& node(NodeId id) const;

@@ -9,6 +9,7 @@
 // identifies as what actually separates BA protocols.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <vector>
@@ -66,6 +67,17 @@ struct DeliverySpec {
       SSBFT_REQUIRE_MSG(s < n, "delivery allowed-sender id "
                                    << s << " out of range for n = " << n);
     }
+    // Duplicate ids would double-count victims in the policies' set
+    // handling and make plan digests non-canonical; require each list to
+    // name every id at most once.
+    const auto has_duplicate = [](std::vector<NodeId> ids) {
+      std::sort(ids.begin(), ids.end());
+      return std::adjacent_find(ids.begin(), ids.end()) != ids.end();
+    };
+    SSBFT_REQUIRE_MSG(!has_duplicate(victims),
+                      "delivery victims list names a node id twice");
+    SSBFT_REQUIRE_MSG(!has_duplicate(allowed_senders),
+                      "delivery allowed-senders list names a node id twice");
     switch (kind) {
       case DeliveryKind::kSynchronous:
       case DeliveryKind::kReorder:
@@ -123,6 +135,39 @@ struct FaultPlan {
   // the increment, so even the type's maximum cannot wrap the bound to
   // zero) never asks the simulator for a pathological allocation.
   static constexpr std::uint32_t kMaxPhantomLen = 1u << 20;
+
+  // First beat from which the declared network and delivery axes are
+  // provably quiet: the lossy/phantom window ends at network_faulty_until
+  // and a suppressing delivery adversary at heal_at (kTargetedDelay keeps
+  // flushing parked messages for delay_beats more beats). kReorder never
+  // heals but still delivers every message within its send beat, so it
+  // never defers quiescence. Returns DeliverySpec::kNever when a
+  // suppressing adversary runs forever. Trace checkers treat beats before
+  // this horizon like corruption beats: the synchronous-network
+  // assumption the closure invariant rests on does not hold there.
+  // (Scheduled corruptions are excluded — they are visible in the trace.)
+  Beat network_quiescence() const {
+    Beat q = network_faulty_until;
+    switch (delivery.kind) {
+      case DeliveryKind::kSynchronous:
+      case DeliveryKind::kReorder:
+        break;
+      case DeliveryKind::kEclipse:
+      case DeliveryKind::kPartition:
+        if (delivery.heal_at == DeliverySpec::kNever) {
+          return DeliverySpec::kNever;
+        }
+        q = std::max(q, delivery.heal_at);
+        break;
+      case DeliveryKind::kTargetedDelay:
+        if (delivery.heal_at == DeliverySpec::kNever) {
+          return DeliverySpec::kNever;
+        }
+        q = std::max(q, delivery.heal_at + delivery.delay_beats);
+        break;
+    }
+    return q;
+  }
 
   // Engine-checked sanity of the plan against the world size n: value
   // ranges, scheduled-corruption ids (an id >= n would index the engine's

@@ -17,6 +17,7 @@
 #include "adversary/adversaries.h"
 #include "coin/fm_coin.h"
 #include "core/clock_sync.h"
+#include "harness/live_check.h"
 #include "sim/engine.h"
 #include "support/bytes.h"
 
@@ -238,6 +239,41 @@ TEST(AllocationFreeBeat, TracedBeatsWithNonAllocatingSink) {
   // beat plus the engine summary.
   EXPECT_GE(sink.records() - records_before, 32u * 12u);
   EXPECT_EQ(sink.beats(), 96u);
+}
+
+// Streaming invariant checking rides the same trace path: once the
+// checker's per-beat scratch has settled, a whole checked beat — clock
+// feeds, streak update, coin folding — must run with a zero allocation
+// delta. Violation formatting is the deliberately allocating boundary; a
+// green run never crosses it.
+TEST(AllocationFreeBeat, TracedBeatsWithStreamingCheckerAttached) {
+  EngineConfig cfg;
+  cfg.n = 16;
+  cfg.f = 5;
+  cfg.faulty = EngineConfig::last_ids_faulty(16, 5);
+  cfg.seed = 7;
+  cfg.metrics_history_limit = 8;
+  Engine eng(cfg, steady_factory(), std::make_unique<SteadyAdversary>());
+  StreamingChecker checker;
+  TraceMeta meta;
+  meta.scenario = "alloc";
+  meta.seed = 7;
+  meta.n = 16;
+  meta.f = 5;
+  meta.faulty = cfg.faulty;
+  meta.max_beats = 96;
+  meta.confirm_window = 12;
+  checker.begin_trace(meta);
+  eng.set_trace(&checker);
+  eng.run_beats(64);  // record ring and checker scratch settle
+  const std::size_t before = g_allocations;
+  eng.run_beats(32);
+  EXPECT_EQ(g_allocations - before, 0u)
+      << "steady-state run_beat() with a streaming checker touched the heap";
+  const CheckResult& res = checker.finish();
+  EXPECT_EQ(res.beats, 96u);
+  EXPECT_TRUE(res.ok)
+      << (res.violations.empty() ? "" : res.violations[0]);
 }
 
 TEST(AllocationFreeBeat, WithAdversary) {

@@ -401,6 +401,69 @@ TEST(DeliverySpecValidation, RejectsMalformedSpecs) {
   }
 }
 
+TEST(DeliverySpecValidation, RejectsDuplicateNodeIds) {
+  const std::uint32_t n = 4;
+  {
+    DeliverySpec s;
+    s.kind = DeliveryKind::kEclipse;
+    s.victims = {1, 1};
+    EXPECT_THROW(s.validate(n), contract_error);
+  }
+  {
+    DeliverySpec s;
+    s.kind = DeliveryKind::kEclipse;
+    s.victims = {2, 0, 2};  // unsorted duplicate must still be caught
+    EXPECT_THROW(s.validate(n), contract_error);
+  }
+  {
+    DeliverySpec s;
+    s.kind = DeliveryKind::kEclipse;
+    s.victims = {0};
+    s.allowed_senders = {3, 1, 3};
+    EXPECT_THROW(s.validate(n), contract_error);
+  }
+  {
+    DeliverySpec s;
+    s.kind = DeliveryKind::kTargetedDelay;
+    s.victims = {2, 0};  // distinct ids in any order stay legal
+    s.delay_beats = 2;
+    s.validate(n);
+  }
+}
+
+// The declared network-quiescence horizon the trace checkers measure
+// from: the last beat any network/delivery fault may still act, kNever
+// for an unhealed suppressing adversary, and unaffected by scheduled
+// corruptions (those are visible in the trace itself).
+TEST(FaultPlanQuiescence, DerivesLastDeclaredNetworkFaultBeat) {
+  FaultPlan p;
+  EXPECT_EQ(p.network_quiescence(), 0u);
+  p.network_faulty_until = 40;
+  EXPECT_EQ(p.network_quiescence(), 40u);
+
+  p.delivery.kind = DeliveryKind::kReorder;  // model-preserving: ignored
+  p.delivery.heal_at = DeliverySpec::kNever;
+  EXPECT_EQ(p.network_quiescence(), 40u);
+
+  p.delivery = DeliverySpec{};
+  p.delivery.kind = DeliveryKind::kPartition;
+  p.delivery.partition_split = 2;
+  p.delivery.heal_at = 100;
+  EXPECT_EQ(p.network_quiescence(), 100u);
+  p.delivery.heal_at = DeliverySpec::kNever;
+  EXPECT_EQ(p.network_quiescence(), DeliverySpec::kNever);
+
+  p.delivery = DeliverySpec{};
+  p.delivery.kind = DeliveryKind::kTargetedDelay;
+  p.delivery.victims = {0};
+  p.delivery.delay_beats = 3;
+  p.delivery.heal_at = 50;
+  EXPECT_EQ(p.network_quiescence(), 53u);  // parked traffic drains post-heal
+
+  p.corruptions[500] = {0};
+  EXPECT_EQ(p.network_quiescence(), 53u);
+}
+
 TEST(DeliverySpecValidation, EngineRejectsBadSpecAtConstruction) {
   EngineConfig cfg = probe_config(4);
   cfg.faults.delivery.kind = DeliveryKind::kTargetedDelay;

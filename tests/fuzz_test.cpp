@@ -14,6 +14,7 @@
 #include <string>
 
 #include "adversary/adversaries.h"
+#include "harness/chaos.h"
 #include "harness/checker.h"
 #include "harness/checkpoint.h"
 #include "agreement/phase_king.h"
@@ -447,6 +448,57 @@ TEST(FuzzShard, ParserAndMergeNeverCrashOnMutatedReports) {
     EXPECT_EQ(total, m.header.total_units);
     if (m.have_commitments) {
       EXPECT_EQ(m.commitments.size(), m.header.total_units);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos sampler fuzz: the campaign generator must hold its contract over
+// random corners of its input space — every draw validate()-clean against
+// its world, every re-draw byte-identical (same canonical encoding, same
+// digest), and every delta-debugging candidate still valid.
+
+TEST(FuzzChaos, FourHundredDrawsValidateCleanAndRedrawByteIdentical) {
+  Rng rng(777);
+  for (int iter = 0; iter < 400; ++iter) {
+    const std::uint64_t campaign = rng.next_u64();
+    const std::uint64_t index = rng.next_below(1u << 16);
+    const auto n = static_cast<std::uint32_t>(4 + rng.next_below(13));
+    const auto actual = static_cast<std::uint32_t>(
+        1 + rng.next_below(std::max<std::uint32_t>((n - 1) / 3, 1)));
+    const std::uint64_t max_beats = 100 + rng.next_below(10000);
+
+    const FaultPlanGenerator gen(campaign);
+    const ChaosUnit unit = gen.make_unit(index, "fuzz/unit", n, actual,
+                                         max_beats);
+    EXPECT_NO_THROW(unit.plan.validate(n)) << "iter " << iter;
+    EXPECT_EQ(unit.faulty.size(), actual);
+    for (NodeId id : unit.faulty) EXPECT_LT(id, n);
+    EXPECT_EQ(unit.campaign_seed, campaign);
+    EXPECT_EQ(unit.index, index);
+
+    // A fresh generator re-drawing the same (seed, index) must reproduce
+    // the unit byte for byte — the identity every repro line relies on.
+    const ChaosUnit redraw = FaultPlanGenerator(campaign).make_unit(
+        index, "fuzz/unit", n, actual, max_beats);
+    EXPECT_EQ(encode_chaos_unit(redraw), encode_chaos_unit(unit));
+    EXPECT_EQ(chaos_unit_digest(redraw), chaos_unit_digest(unit));
+    EXPECT_EQ(chaos_unit_digest(unit).size(), 64u);
+  }
+}
+
+TEST(FuzzChaos, EveryMinimizerCandidateStaysValid) {
+  Rng rng(778);
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::uint64_t campaign = rng.next_u64();
+    const auto n = static_cast<std::uint32_t>(4 + rng.next_below(13));
+    const auto actual = static_cast<std::uint32_t>(
+        1 + rng.next_below(std::max<std::uint32_t>((n - 1) / 3, 1)));
+    const ChaosUnit unit = FaultPlanGenerator(campaign).make_unit(
+        rng.next_below(1u << 16), "fuzz/unit", n, actual,
+        100 + rng.next_below(10000));
+    for (const FaultPlan& cand : chaos_reductions(unit.plan)) {
+      EXPECT_NO_THROW(cand.validate(n)) << "iter " << iter;
     }
   }
 }

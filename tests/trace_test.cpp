@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "harness/checker.h"
+#include "harness/live_check.h"
 #include "harness/scenario.h"
 #include "harness/sweep.h"
 #include "sim/engine.h"
@@ -323,6 +324,170 @@ TEST(TraceCheck, RequireConvergenceUpgradesCensoredToFailure) {
   strict.require_convergence = true;
   const CheckResult res = check_str(s, strict);
   EXPECT_FALSE(res.ok);
+}
+
+TEST(TraceCheck, FaultHorizonExcusesBreaksInsideTheDeclaredWindow) {
+  // Converged at beat 0, lockstep broken at beat 10 with no corruption
+  // record (a dropped message inside a declared lossy window), back in
+  // lockstep from beat 11 on.
+  std::string s = converged_prefix();
+  s += clock_line(10, 0, 2);
+  s += clock_line(10, 1, 2);
+  s += clock_line(10, 2, 3);
+  for (std::uint64_t b = 11; b < 30; ++b) {
+    for (std::uint32_t node = 0; node < 3; ++node) {
+      s += clock_line(b, node, b % 4);
+    }
+  }
+  // On a clean network that break is a closure violation...
+  EXPECT_FALSE(check_str(s, CheckOptions{}).ok);
+  // ...but under a declared fault horizon covering it, beats before the
+  // quiescence point are treated like corruption beats: no violation, and
+  // convergence is measured from the horizon.
+  CheckOptions lossy;
+  lossy.fault_horizon = 11;
+  const CheckResult res = check_str(s, lossy);
+  EXPECT_TRUE(res.ok) << (res.violations.empty() ? "" : res.violations[0]);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.synced_at, 11u);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming/offline equivalence: InvariantCore is the single invariant
+// implementation, so a StreamingChecker attached to the live engine must
+// produce exactly the verdict ssbft_check computes from the same run's
+// serialized trace — same flags, same beats, same violation strings.
+
+CheckResult run_streamed(Family fam, const World& w, std::uint64_t seed,
+                         std::uint64_t beats, const CheckOptions& opts) {
+  EngineBundle b = build_world(fam, w)(seed);
+  StreamingChecker checker(opts);
+  TraceMeta meta;
+  meta.scenario = family_name(fam);
+  meta.seed = seed;
+  meta.n = b.engine->n();
+  meta.f = b.engine->f();
+  for (NodeId id = 0; id < b.engine->n(); ++id) {
+    if (b.engine->is_faulty(id)) meta.faulty.push_back(id);
+  }
+  meta.max_beats = beats;
+  meta.confirm_window = 12;
+  checker.begin_trace(meta);
+  b.engine->set_trace(&checker);
+  b.engine->run_beats(beats);
+  return checker.finish();
+}
+
+void expect_same_verdict(const CheckResult& offline, const CheckResult& live) {
+  EXPECT_EQ(live.ok, offline.ok);
+  EXPECT_EQ(live.converged, offline.converged);
+  EXPECT_EQ(live.censored, offline.censored);
+  EXPECT_EQ(live.synced_at, offline.synced_at);
+  EXPECT_EQ(live.beats, offline.beats);
+  EXPECT_EQ(live.had_corruption, offline.had_corruption);
+  EXPECT_EQ(live.last_corruption, offline.last_corruption);
+  EXPECT_EQ(live.coin_groups, offline.coin_groups);
+  EXPECT_EQ(live.coin_agreement_rate, offline.coin_agreement_rate);
+  EXPECT_EQ(live.violation_count, offline.violation_count);
+  EXPECT_EQ(live.violations, offline.violations);
+}
+
+TEST(StreamingCheck, VerdictMatchesOfflineOnEveryFamily) {
+  for (const FamilyCase& fc : family_cases()) {
+    SCOPED_TRACE(fc.name);
+    CheckOptions opts;
+    opts.require_convergence = true;
+    const CheckResult offline =
+        check_str(run_traced(fc.fam, fc.w, 97, 10000), opts);
+    const CheckResult live = run_streamed(fc.fam, fc.w, 97, 10000, opts);
+    expect_same_verdict(offline, live);
+    EXPECT_TRUE(live.ok)
+        << (live.violations.empty() ? "" : live.violations[0]);
+  }
+}
+
+TEST(StreamingCheck, VerdictMatchesOfflineUnderCorruptionAndBound) {
+  World w;
+  w.n = 4;
+  w.f = 1;
+  w.actual = 1;
+  w.k = 8;
+  w.attack = Attack::kSkew;
+  w.faults.corruptions[3000] = {0, 1};
+  CheckOptions opts;
+  opts.require_convergence = true;
+  opts.bound = 6000;
+  const CheckResult offline =
+      check_str(run_traced(Family::kClockSync, w, 11, 10000), opts);
+  const CheckResult live = run_streamed(Family::kClockSync, w, 11, 10000, opts);
+  expect_same_verdict(offline, live);
+  EXPECT_TRUE(live.ok) << (live.violations.empty() ? "" : live.violations[0]);
+  EXPECT_TRUE(live.had_corruption);
+  EXPECT_EQ(live.last_corruption, 3000u);
+}
+
+// Feeds a hand-crafted serialized stream through the streaming path (the
+// decoder supplies the records, a TraceMeta supplies the window).
+CheckResult stream_str(const std::string& s, const CheckOptions& opts) {
+  ParseResult p = parse_str(s);
+  EXPECT_TRUE(p.ok) << p.error << " at line " << p.error_line;
+  StreamingChecker checker(opts);
+  TraceMeta meta;
+  meta.confirm_window = p.trace.header.confirm_window;
+  checker.begin_trace(meta);
+  checker.write(p.trace.records.data(), p.trace.records.size());
+  return checker.finish();
+}
+
+TEST(StreamingCheck, UnexplainedClosureBreakFiresInTheStream) {
+  std::string s = converged_prefix();
+  s += clock_line(10, 0, 2);
+  s += clock_line(10, 1, 2);
+  s += clock_line(10, 2, 3);  // disagrees, and no corruption recorded
+  const CheckResult res = stream_str(s, CheckOptions{});
+  EXPECT_FALSE(res.ok);
+  ASSERT_FALSE(res.violations.empty());
+  EXPECT_NE(res.violations[0].find("closure broke"), std::string::npos);
+  expect_same_verdict(check_str(s, CheckOptions{}), res);
+}
+
+TEST(StreamingCheck, HandCraftedStreamsMatchOfflineVerdicts) {
+  struct Case {
+    const char* name;
+    std::string stream;
+    CheckOptions opts;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"converged", converged_prefix(), CheckOptions{}});
+  {
+    std::string s = converged_prefix();
+    s += "{\"type\":\"corrupt\",\"beat\":10,\"node\":1}\n";
+    s += clock_line(10, 0, 2);
+    s += clock_line(10, 1, 0);
+    s += clock_line(10, 2, 2);
+    cases.push_back({"corrupt-break", s, CheckOptions{}});
+  }
+  {
+    std::string s = kHeader;
+    s += clock_line(0, 0, 7);
+    s += clock_line(0, 1, 1);
+    s += clock_line(0, 2, 1);
+    cases.push_back({"overflow", s, CheckOptions{}});
+  }
+  {
+    CheckOptions strict;
+    strict.require_convergence = true;
+    std::string s = kHeader;
+    s += clock_line(0, 0, 0);
+    s += clock_line(0, 1, 1);
+    s += clock_line(0, 2, 2);
+    cases.push_back({"censored-strict", s, strict});
+  }
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    expect_same_verdict(check_str(c.stream, c.opts),
+                        stream_str(c.stream, c.opts));
+  }
 }
 
 // ---------------------------------------------------------------------------
