@@ -102,6 +102,70 @@ BENCHMARK(BM_FieldKernels_EvalMany)
     ->ArgNames({"deg", "pts"})
     ->Args({2, 16})->Args({4, 64})->Args({8, 64});
 
+// --- Wide-shape kernel benchmarks ------------------------------------------
+//
+// The large-n scaling grid's shapes: length-n vectors and (f+1)-degree
+// row evaluations at n points for n up to 128, the loops the runtime-
+// dispatched SIMD backends target. Rerun against a -DSSBFT_SIMD=off build
+// for the scalar reference on identical inputs.
+
+void BM_FieldKernelsWide_MulVec(benchmark::State& state) {
+  PrimeField F;
+  Rng rng(31);
+  const auto len = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> a(len), b(len), out(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    a[i] = F.uniform(rng);
+    b[i] = F.uniform(rng);
+  }
+  for (auto _ : state) {
+    F.mul_vec(a.data(), b.data(), out.data(), len);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_FieldKernelsWide_MulVec)->ArgName("n")->Arg(32)->Arg(128);
+
+void BM_FieldKernelsWide_EvalMany(benchmark::State& state) {
+  // One dealing-row evaluation at every node point: degree f = (n-1)/3,
+  // n points — recv_deal runs n of these per beat per node.
+  PrimeField F;
+  Rng rng(32);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t f = (n - 1) / 3;
+  Poly p = Poly::random(F, static_cast<int>(f), rng);
+  std::vector<std::uint64_t> xs(n), out(n);
+  for (auto& x : xs) x = F.uniform(rng);
+  for (auto _ : state) {
+    F.eval_many(p.coeffs().data(), p.coeffs().size(), xs.data(), n,
+                out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FieldKernelsWide_EvalMany)->ArgName("n")->Arg(32)->Arg(64)
+    ->Arg(128);
+
+void BM_FieldKernelsWide_BatchInv(benchmark::State& state) {
+  PrimeField F;
+  Rng rng(33);
+  const auto len = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> vals(len), scratch(len);
+  for (auto& v : vals) v = F.uniform_nonzero(rng);
+  for (auto _ : state) {
+    F.batch_inv(vals.data(), len, scratch.data());
+    benchmark::DoNotOptimize(vals.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_FieldKernelsWide_BatchInv)->ArgName("n")->Arg(32)->Arg(128);
+
 void BM_FieldKernels_ScalarInv(benchmark::State& state) {
   // Extended-Euclid scalar inverse (the batch path amortizes this away;
   // kept visible so regressions in the scalar route are caught too).
@@ -387,6 +451,35 @@ void BM_FullStackBeat(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_FullStackBeat)->Arg(1)->Arg(2);
+
+// Large-n full stack: the scaling-grid configurations (f = (n-1)/3), the
+// workloads the SIMD kernels target end to end.
+void BM_FullStackBeatLarge(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t f = (n - 1) / 3;
+  EngineConfig cfg;
+  cfg.n = n;
+  cfg.f = f;
+  cfg.faulty = EngineConfig::last_ids_faulty(n, f);
+  cfg.seed = 12;
+  cfg.metrics_history_limit = 8;
+  CoinSpec spec = fm_coin_spec();
+  auto factory = [spec](const ProtocolEnv& env, Rng rng) {
+    return std::make_unique<SsByzClockSync>(env, 64, spec, rng);
+  };
+  Engine eng(cfg, factory, make_clock_skew_adversary(64, 0));
+  eng.run_beats(2);  // settle buffers before timing
+  for (auto _ : state) {
+    eng.run_beat();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FullStackBeatLarge)
+    ->ArgName("n")
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
 
 // Oracle-coin stack: the protocol-logic cost with coin traffic removed.
 void BM_OracleStackBeat(benchmark::State& state) {

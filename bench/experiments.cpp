@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -854,6 +855,90 @@ void run_message_complexity(const BenchOptions& o, Report& r) {
 }
 
 // ---------------------------------------------------------------------------
+// Large-n scaling grid: Table 1's convergence story continued past n = 13,
+// plus the first KiB/beat and ns/beat curves out to n = 128. The
+// convergence rows come from the scaling-large/* registry cells; the cost
+// curves are steady-state single-engine probes (same methodology as
+// message_complexity) timed with a monotonic clock. These are the
+// workloads the SIMD field/codec kernels exist for — rerun with a
+// -DSSBFT_SIMD=off build to measure the scalar reference on identical
+// bytes.
+
+void run_table1_large(const BenchOptions& o, Report& r) {
+  r.text("=== Large-n scaling grid (k = 64): convergence at n up to 128 "
+         "===\n\n");
+  const std::uint32_t ns[] = {32, 64, 128};
+  std::vector<SweepCell> cells;
+  for (std::uint32_t n : ns) {
+    cells.push_back(
+        registry_cell(o, "scaling-large/sync/n" + std::to_string(n)));
+    cells.push_back(
+        registry_cell(o, "scaling-large/sync-fm/n" + std::to_string(n)));
+    cells.push_back(registry_cell(
+        o, "scaling-large/sync-fm/n" + std::to_string(n) + "-adaptive"));
+  }
+  const std::vector<TrialStats> stats = run_sweep(cells, sweep_options(o));
+  AsciiTable conv({"coin", "adversary", "n", "f", "mean beats", "p90",
+                   "msgs/beat", "converged"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const ScenarioSpec& spec = spec_of(cells[i]);
+    const TrialStats& s = stats[i];
+    conv.add_row({spec.world.coin == CoinKind::kFm ? "fm-gvss" : "oracle",
+                  attack_name(spec.world.attack), std::to_string(spec.world.n),
+                  std::to_string(spec.world.f), stat_cell(s),
+                  fmt_double(s.p90, 0), fmt_double(s.mean_msgs_per_beat, 0),
+                  converged_cell(s)});
+  }
+  r.table("main", conv);
+
+  // Steady-state cost curves: one engine per (coin, n), silent adversary so
+  // the measured traffic is the protocol's own. ns/beat is wall-clock over
+  // the whole probe (the only wall-clock number in the repo's tables; it
+  // varies run to run — the KiB/beat column and every other table stay
+  // bit-identical).
+  r.text("\n=== Steady-state cost per beat (silent adversary) ===\n\n");
+  AsciiTable cost({"coin", "n", "f", "msgs/beat", "KiB/beat", "ns/beat"});
+  for (std::uint32_t n : ns) {
+    World w;
+    w.n = n;
+    w.f = (n - 1) / 3;
+    w.actual = w.f;
+    w.k = 64;
+    w.attack = Attack::kSilent;
+    struct Probe {
+      const char* coin;
+      CoinKind kind;
+      std::uint64_t beats;
+    };
+    // FM beats shrink with n (an n=128 FM beat carries ~n^2 vectors);
+    // the second-half window still spans several coin rounds.
+    const Probe probes[] = {
+        {"oracle", CoinKind::kOracle, 300},
+        {"fm-gvss", CoinKind::kFm, n >= 128 ? 12u : n >= 64 ? 24u : 48u},
+    };
+    for (const Probe& p : probes) {
+      World wp = w;
+      wp.coin = p.kind;
+      auto bundle = build_clock_sync(wp)(shifted_seed(o, 123));
+      const auto t0 = std::chrono::steady_clock::now();
+      bundle.engine->run_beats(p.beats);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double ns_per_beat =
+          static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count()) /
+          static_cast<double>(p.beats);
+      const Traffic tr = second_half_mean(*bundle.engine);
+      cost.add_row({p.coin, std::to_string(n), std::to_string(w.f),
+                    fmt_double(tr.msgs, 0), fmt_double(tr.bytes / 1024.0, 1),
+                    fmt_double(ns_per_beat, 0)});
+    }
+  }
+  r.table("cost", cost);
+  r.csv_trailer(cost);
+}
+
+// ---------------------------------------------------------------------------
 // Delivery-adversary experiment: convergence and message cost of the
 // paper's full stack under adversarial *scheduling* — eclipse, partition,
 // targeted delay, reorder (sim/delivery.h) — against the synchronous
@@ -930,6 +1015,10 @@ const std::vector<Experiment>& experiments() {
       {"table1", "Table 1 (PODC'08): measured convergence for all four "
                  "algorithm families across (n, f)",
        run_table1},
+      {"table1-large", "large-n scaling grid (n = 32/64/128): convergence "
+                       "plus KiB/beat and ns/beat curves on the SIMD "
+                       "kernels (scaling-large/* cells)",
+       run_table1_large},
       {"resiliency", "resiliency boundaries at n = 13: f < n/4 vs f < n/3 "
                      "vs the impossible f > n/3",
        run_resiliency},

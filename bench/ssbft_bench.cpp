@@ -84,6 +84,8 @@ int usage(std::ostream& os, int code) {
         "  ssbft_bench run 'gallery/*' --format jsonl\n"
         "  ssbft_bench run net/baseline --trace traces && ssbft_check "
         "traces\n"
+        "  ssbft_bench run table1-large --trials 1   # n up to 128 "
+        "(scaling-large/* cells)\n"
         "  ssbft_bench run 'gallery/*' --shard 0/2 --out a.jsonl   # box A\n"
         "  ssbft_bench run 'gallery/*' --shard 1/2 --out b.jsonl   # box B\n"
         "  ssbft_bench merge a.jsonl b.jsonl\n"
@@ -92,7 +94,11 @@ int usage(std::ostream& os, int code) {
         "  ssbft_bench soak 'gallery/*' --campaign-seed 7 --units 200 "
         "--jobs 4\n"
         "  ssbft_bench soak 'gallery/*' --campaign-seed 7 --units 200 "
-        "--minimize\n";
+        "--minimize\n"
+        "notes:\n"
+        "  field/codec kernels auto-dispatch to SIMD (AVX2) when the CPU\n"
+        "  supports it; a -DSSBFT_SIMD=off build pins the scalar reference.\n"
+        "  Results are bit-identical on every path — only timings differ.\n";
   return code;
 }
 

@@ -69,6 +69,7 @@ void GvssRecoverTable::init(const PrimeField& F, std::uint32_t n,
   for (std::size_t t = 0; t < targets; ++t) {
     fill_row(f + 2 + t, target_rows_.data() + t * m);
   }
+  ys_scratch_.assign(m, 0);
 }
 
 namespace {
@@ -90,16 +91,6 @@ bool table_applies(const GvssRecoverTable* table, const PrimeField& F,
   return true;
 }
 
-// Candidate evaluation as a table-row / share dot product.
-std::uint64_t dot_shares(const PrimeField& F, const std::uint64_t* row,
-                         const std::vector<RsPoint>& shares, std::uint32_t f) {
-  std::uint64_t acc = 0;
-  for (std::size_t i = 0; i <= f; ++i) {
-    acc = F.add(acc, F.mul(row[i], shares[i].y));
-  }
-  return acc;
-}
-
 }  // namespace
 
 std::optional<std::uint64_t> gvss_recover(const PrimeField& F, std::uint32_t f,
@@ -111,16 +102,19 @@ std::optional<std::uint64_t> gvss_recover(const PrimeField& F, std::uint32_t f,
   // agrees it is the unique degree-f codeword (zero errors).
   if (table_applies(table, F, f, shares)) {
     // Allocation-free: candidate values at the remaining share points come
-    // straight from the precomputed Lagrange rows.
+    // straight from the precomputed Lagrange rows as table-row / share dot
+    // products, with the prefix values staged flat once for the kernel.
+    const std::size_t m = std::size_t{f} + 1;
+    std::uint64_t* ys = table->ys_scratch();
+    for (std::size_t i = 0; i < m; ++i) ys[i] = shares[i].y;
     bool clean = true;
-    for (std::size_t k = std::size_t{f} + 1; k < shares.size(); ++k) {
-      if (dot_shares(F, table->target_row(shares[k].x), shares, f) !=
-          shares[k].y) {
+    for (std::size_t k = m; k < shares.size(); ++k) {
+      if (F.dot(table->target_row(shares[k].x), ys, m) != shares[k].y) {
         clean = false;
         break;
       }
     }
-    if (clean) return dot_shares(F, table->zero_row(), shares, f);
+    if (clean) return F.dot(table->zero_row(), ys, m);
   } else {
     std::vector<std::uint64_t> xs, ys;
     xs.reserve(f + 1);

@@ -94,6 +94,10 @@ class GvssRecoverTable {
     return target_rows_.data() +
            static_cast<std::size_t>(point - f_ - 2) * (f_ + 1);
   }
+  // Staging buffer (f+1 entries) for the fast path: shares arrive as AoS
+  // RsPoints, the dot kernel wants flat values. gvss_recover fills it per
+  // call; sized at init so the steady state allocates nothing.
+  std::uint64_t* ys_scratch() const { return ys_scratch_.data(); }
 
  private:
   std::uint32_t n_ = 0;
@@ -101,6 +105,7 @@ class GvssRecoverTable {
   std::uint64_t modulus_ = 0;
   std::vector<std::uint64_t> zero_row_;
   std::vector<std::uint64_t> target_rows_;  // (n - f - 1) rows x (f+1)
+  mutable std::vector<std::uint64_t> ys_scratch_;  // f+1
 };
 
 // Recovers the dealt secret g(0) from shares g(node_point(j)) where

@@ -42,13 +42,12 @@ void SymmetricBivariate::row_into(const PrimeField& F, std::uint64_t x0,
                                   std::uint64_t* out) const {
   SSBFT_REQUIRE_MSG(deg_ >= 0, "row of an empty bivariate");
   const std::size_t w = static_cast<std::size_t>(deg_) + 1;
-  // f_{x0}(y) = sum_j (sum_i c_ij x0^i) y^j — accumulate per column j.
+  // f_{x0}(y) = sum_j (sum_i c_ij x0^i) y^j — accumulate per column j, one
+  // coefficient row at a time (the batch kernel runs the column sweep).
   for (std::size_t j = 0; j < w; ++j) out[j] = 0;
   std::uint64_t xp = 1;
   for (std::size_t i = 0; i < w; ++i) {
-    for (std::size_t j = 0; j < w; ++j) {
-      out[j] = F.add(out[j], F.mul(c_[i * w + j], xp));
-    }
+    F.addmul_vec(out, c_.data() + i * w, xp, w);
     xp = F.mul(xp, x0);
   }
 }

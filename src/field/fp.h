@@ -24,6 +24,18 @@
 // backend dispatch out of the element loop — callers must pass canonical
 // elements (the kernels' inputs always come from already-validated flat
 // storage in this codebase).
+//
+// SIMD dispatch design (field/fp_simd.h): on the Mersenne-61 fast path the
+// batch kernels can additionally route to a runtime-selected vector
+// backend (AVX2 today; the m61simd seam admits a NEON backend the same
+// way). The decision is made ONCE, at PrimeField construction — the ctor
+// probes m61simd::available() (a cached CPUID check) and latches `simd_`;
+// the kernels branch on that bool per call, never per element. The scalar
+// loops remain the bit-exact reference: every backend produces the unique
+// canonical representative of the same field result, so replays, wire
+// bytes and trace commitments are identical on every path. Building with
+// -DSSBFT_SIMD=off compiles the vector backend out entirely, and tests can
+// force the reference path per instance via SimdMode::kOff.
 #pragma once
 
 #include <cstdint>
@@ -34,13 +46,19 @@
 
 namespace ssbft {
 
+// Backend selection for the Mersenne-61 batch kernels. kAuto picks the
+// vector backend iff one is compiled in and the CPU supports it; kOff
+// pins the scalar reference path (the property tests compare the two).
+enum class SimdMode { kAuto, kOff };
+
 class PrimeField {
  public:
   // Largest prime we use by default: 2^61 - 1.
   static constexpr std::uint64_t kDefaultPrime = 2305843009213693951ULL;
 
   // p must be prime (checked with Miller-Rabin) and >= 2.
-  explicit PrimeField(std::uint64_t p = kDefaultPrime);
+  explicit PrimeField(std::uint64_t p = kDefaultPrime,
+                      SimdMode simd = SimdMode::kAuto);
 
   std::uint64_t modulus() const { return p_; }
 
@@ -111,6 +129,17 @@ class PrimeField {
   void submul_vec(std::uint64_t* dst, const std::uint64_t* src,
                   std::uint64_t c, std::size_t len) const;
 
+  // dst[i] += c * src[i] (the bivariate row accumulation). dst must not
+  // alias src.
+  void addmul_vec(std::uint64_t* dst, const std::uint64_t* src,
+                  std::uint64_t c, std::size_t len) const;
+
+  // sum_i a[i] * b[i] — the Lagrange-row dot products of the GVSS recover
+  // fast path. Modular addition is associative, so any internal
+  // accumulation order yields the same canonical result.
+  std::uint64_t dot(const std::uint64_t* a, const std::uint64_t* b,
+                    std::size_t len) const;
+
   // Horner evaluation of sum_i coeffs[i] x^i (count coefficients,
   // little-endian). count == 0 yields 0.
   std::uint64_t horner(const std::uint64_t* coeffs, std::size_t count,
@@ -133,6 +162,10 @@ class PrimeField {
   // Uniformly random nonzero element.
   std::uint64_t uniform_nonzero(Rng& rng) const;
 
+  // True iff the batch kernels route to a vector backend (decided once at
+  // construction; identical results either way).
+  bool simd_active() const { return simd_; }
+
   bool operator==(const PrimeField& o) const { return p_ == o.p_; }
 
   // Reduces t < 2^122 modulo 2^61 - 1: two shift/add folds bring the value
@@ -147,8 +180,14 @@ class PrimeField {
   }
 
  private:
+  // Four-lane Montgomery batch inversion: the prefix/unwind passes run on
+  // the vector backend over four chunks, joined by one scalar inv().
+  void batch_inv_m61_lanes(std::uint64_t* vals, std::size_t len,
+                           std::uint64_t* scratch) const;
+
   std::uint64_t p_;
   bool mersenne61_;
+  bool simd_;
 };
 
 }  // namespace ssbft

@@ -1,0 +1,74 @@
+// Vector backends for the Mersenne-61 batch kernels.
+//
+// Everything here operates on canonical elements of Z_(2^61-1) (the
+// PrimeField::kDefaultPrime fast path only — the generic-modulus path has
+// no vector backend). The functions are total on every build: when no
+// vector unit is compiled in or the CPU lacks it, they fall through to
+// straight-line scalar code that shares PrimeField::fold61, so tests can
+// call them unconditionally and compare against the scalar reference.
+//
+// Dispatch contract (see the design note in field/fp.h): `available()`
+// probes the CPU once (cached static) and PrimeField consults it a single
+// time at construction. The per-call branch inside each kernel reads the
+// same cached flag — there is no per-element dispatch anywhere.
+//
+// Bit-exactness: every kernel returns the canonical representative of the
+// exact field result, which is unique, so vector and scalar paths cannot
+// diverge (tests/field_test.cpp pins this over adversarial inputs).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ssbft {
+namespace m61simd {
+
+// True iff a vector backend is compiled in (x86-64 AVX2, unless the build
+// set -DSSBFT_SIMD=off) and this CPU supports it. Evaluated once.
+bool available();
+
+// "avx2" when available(), else "scalar" (diagnostics / bench context).
+const char* backend_name();
+
+// out[i] = a[i] * b[i] mod 2^61-1. out may alias a or b.
+void mul_vec(const std::uint64_t* a, const std::uint64_t* b,
+             std::uint64_t* out, std::size_t len);
+
+// out[i] = a[i] * c mod 2^61-1. out may alias a.
+void scale_vec(const std::uint64_t* a, std::uint64_t c, std::uint64_t* out,
+               std::size_t len);
+
+// dst[i] = dst[i] - c * src[i] mod 2^61-1. dst must not alias src.
+void submul_vec(std::uint64_t* dst, const std::uint64_t* src, std::uint64_t c,
+                std::size_t len);
+
+// dst[i] = dst[i] + c * src[i] mod 2^61-1. dst must not alias src.
+// (The bivariate row evaluation: out += row_i * x^i, column-wise.)
+void addmul_vec(std::uint64_t* dst, const std::uint64_t* src, std::uint64_t c,
+                std::size_t len);
+
+// sum_i a[i] * b[i] mod 2^61-1 (the GVSS recover fast path's Lagrange-row
+// dot products). Canonical result; lane accumulation reassociates the sum,
+// which is exact under modular addition.
+std::uint64_t dot(const std::uint64_t* a, const std::uint64_t* b,
+                  std::size_t len);
+
+// out[k] = Horner(coeffs, xs[k]) for k < m. Points are processed in
+// register-resident tiles of 8 with the coefficient stream broadcast
+// across lanes, so one coefficient load amortizes over the whole tile and
+// the per-row tables of the (dealings x node-points) loop stay cache-hot.
+void eval_many(const std::uint64_t* coeffs, std::size_t count,
+               const std::uint64_t* xs, std::size_t m, std::uint64_t* out);
+
+// Lane passes of Montgomery batch inversion over four contiguous chunks of
+// length K (chunk c = [c*K, (c+1)*K)):
+//   chunk_prefix: scratch[c*K+i] = prod_{j<=i} vals[c*K+j]
+void chunk_prefix(const std::uint64_t* vals, std::uint64_t* scratch,
+                  std::size_t K);
+//   chunk_unwind: given inv_totals[c] = (chunk c's total product)^-1,
+//   replaces vals[c*K+i] with vals[c*K+i]^-1 using the prefixes above.
+void chunk_unwind(std::uint64_t* vals, const std::uint64_t* scratch,
+                  const std::uint64_t inv_totals[4], std::size_t K);
+
+}  // namespace m61simd
+}  // namespace ssbft

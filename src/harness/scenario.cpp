@@ -444,6 +444,38 @@ std::vector<ScenarioSpec> make_registry() {
         5000 + n, 8000);
   }
 
+  // --- Large-n scaling grid (bench_table1's table1-large experiment):
+  // first cells past n=13, sized to exercise the SIMD field and codec
+  // kernels at wide n. f = floor((n-1)/3) is the paper's maximal
+  // resilience; trials stay small because a single n=128 FM-coin beat
+  // carries n^2 messages with length-n field vectors.
+  for (const std::uint32_t n : {32u, 64u, 128u}) {
+    World w;
+    w.n = n;
+    w.f = (n - 1) / 3;
+    w.actual = w.f;
+    w.k = 64;
+    w.attack = Attack::kSkew;
+
+    World wo = w;
+    wo.coin = CoinKind::kOracle;
+    add("scaling-large/sync/n" + std::to_string(n), Family::kClockSync, wo, 3,
+        9000 + n, 8000);
+
+    World wf = w;
+    wf.coin = CoinKind::kFm;
+    add("scaling-large/sync-fm/n" + std::to_string(n), Family::kClockSync, wf,
+        3, 9100 + n, 8000);
+
+    // Gallery adversary at scale: the adaptive quorum splitter, the
+    // strongest attacker in examples/byzantine_gallery, on the full
+    // FM-coin stack.
+    World wa = wf;
+    wa.attack = Attack::kAdaptive;
+    add("scaling-large/sync-fm/n" + std::to_string(n) + "-adaptive",
+        Family::kClockSync, wa, 3, 9200 + n, 8000);
+  }
+
   // --- Resiliency boundaries (bench_resiliency): n = 13, sweep actual. --
   for (std::uint32_t actual : {0u, 2u, 3u, 4u, 5u}) {
     World wq;

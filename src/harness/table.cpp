@@ -30,8 +30,13 @@ void AsciiTable::print(std::ostream& os) const {
   auto line = [&](const std::vector<std::string>& cells) {
     os << "|";
     for (std::size_t c = 0; c < cells.size(); ++c) {
-      os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
-         << cells[c] << " |";
+      // Pad by hand rather than with setw/left: those pick up whatever
+      // fill character and adjustfield the caller's stream carries (report
+      // code interleaves tables with setfill users), so wide cells — n=128
+      // labels, 6+ digit ns/beat values — came out padded with the wrong
+      // character, and the left flag leaked back to the caller.
+      os << ' ' << cells[c] << std::string(widths[c] - cells[c].size(), ' ')
+         << " |";
     }
     os << '\n';
   };

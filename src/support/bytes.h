@@ -44,6 +44,12 @@ class ByteWriter {
   // `value_bits` bits. Every present entry must fit in `value_bits` bits
   // (contract error otherwise); callers encoding canonical field elements
   // pass value_bits = bit width of (modulus - 1).
+  //
+  // At value_bits = 61 (the default field) full runs of 8 present values
+  // are byte-aligned 61-byte blocks and go through the bulk kernels in
+  // support/bitpack61.h; the bit layout — and therefore every wire byte —
+  // is identical to the scalar window, which -DSSBFT_SIMD=off restores as
+  // the single reference path.
   void masked_u64_vec(const std::uint64_t* data, std::size_t len,
                       std::uint64_t absent, unsigned value_bits = 64);
 
